@@ -1,0 +1,481 @@
+(* faulty-search: command-line front end.
+
+   Subcommands:
+     bounds    closed-form competitive ratios and derived quantities
+     simulate  synthesize the optimal strategy and verify it empirically
+     certify   run the lower-bound certificate against a claimed lambda
+     sweep     competitive ratio of the exponential strategy vs its base
+     trace     narrate a concrete search run *)
+
+module FS = Faulty_search
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* common arguments                                                    *)
+
+let m_arg =
+  let doc = "Number of rays (the line is m = 2)." in
+  Arg.(value & opt int 2 & info [ "m"; "rays" ] ~docv:"M" ~doc)
+
+let k_arg =
+  let doc = "Number of robots." in
+  Arg.(value & opt int 1 & info [ "k"; "robots" ] ~docv:"K" ~doc)
+
+let f_arg =
+  let doc = "Number of (crash-type) faulty robots." in
+  Arg.(value & opt int 0 & info [ "f"; "faulty" ] ~docv:"F" ~doc)
+
+let n_arg =
+  let doc = "Evaluation horizon: targets range over [1, N]." in
+  Arg.(value & opt float 1e4 & info [ "n"; "horizon" ] ~docv:"N" ~doc)
+
+let alpha_arg =
+  let doc = "Base of the exponential strategy (default: the optimal one)." in
+  Arg.(value & opt (some float) None & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+
+let with_params m k f yield =
+  match FS.Params.make ~m ~k ~f with
+  | p -> yield p
+  | exception FS.Params.Invalid msg ->
+      Format.eprintf "invalid parameters: %s@." msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+
+let bounds_run m k f =
+  with_params m k f @@ fun p ->
+  Format.printf "instance:        %a@." FS.Params.pp p;
+  Format.printf "regime:          %a@." FS.Params.pp_regime (FS.Params.regime p);
+  Format.printf "q = m(f+1):      %d@." (FS.Params.q p);
+  Format.printf "s = q - k:       %d@." (FS.Params.s p);
+  Format.printf "rho = q/k:       %.6f@." (FS.Params.rho p);
+  let bound = FS.Formulas.a_mray ~m ~k ~f in
+  Format.printf "A(m,k,f):        %.6f@." bound;
+  (match FS.Params.regime p with
+  | FS.Params.Searching ->
+      Format.printf "optimal alpha:   %.6f@."
+        (FS.Formulas.alpha_star ~q:(FS.Params.q p) ~k);
+      if m = 2 then
+        Format.printf "Byzantine:       B(%d,%d) >= %.6f (crash transfer)@." k f
+          (FS.Byzantine.lower_bound ~k ~f)
+  | FS.Params.Ratio_one | FS.Params.Unsolvable -> ());
+  0
+
+let bounds_cmd =
+  let doc = "Closed-form competitive ratios (Theorems 1 and 6)." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const bounds_run $ m_arg $ k_arg $ f_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_run m k f n alpha =
+  with_params m k f @@ fun _p ->
+  match FS.Problem.make ~m ~k ~f ~horizon:n () with
+  | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | problem -> (
+      match FS.Solve.solve ?alpha problem with
+      | exception FS.Solve.Unsolvable msg ->
+          Format.eprintf "unsolvable: %s@." msg;
+          1
+      | solution ->
+          let report = FS.Verify.verify solution in
+          Format.printf "%a@." FS.Verify.pp report;
+          if FS.Verify.all_ok report then 0 else 1)
+
+let simulate_cmd =
+  let doc = "Synthesize the optimal strategy and verify it empirically." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const simulate_run $ m_arg $ k_arg $ f_arg $ n_arg $ alpha_arg)
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                             *)
+
+let lambda_arg =
+  let doc = "Claimed competitive ratio to test." in
+  Arg.(required & opt (some float) None & info [ "lambda" ] ~docv:"L" ~doc)
+
+let json_out_arg =
+  let doc = "Also write the certificate as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let certify_run m k f n lambda json_out =
+  with_params m k f @@ fun p ->
+  match FS.Params.regime p with
+  | FS.Params.Ratio_one | FS.Params.Unsolvable ->
+      Format.eprintf "certify: instance not in the searching regime@.";
+      1
+  | FS.Params.Searching ->
+      let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
+      let solution = FS.Solve.solve problem in
+      let turns = Option.get (FS.Solve.orc_turns solution) in
+      let q = FS.Params.q p in
+      let verdict =
+        if m = 2 then FS.Certificate.check_line ~turns ~f ~lambda ~n
+        else FS.Certificate.check_orc ~turns ~demand:q ~lambda ~n
+      in
+      Format.printf "bound:   %.6f@." (FS.Problem.bound problem);
+      Format.printf "claimed: %.6f@." lambda;
+      Format.printf "verdict: %a@." FS.Certificate.pp_verdict verdict;
+      (match json_out with
+      | Some path ->
+          let setting =
+            if m = 2 then FS.Assigned.Line_symmetric else FS.Assigned.Orc_setting
+          in
+          let demand = if m = 2 then FS.Params.s p else q in
+          let s =
+            FS.Certificate_io.export_string ~pretty:true ~setting ~k ~demand
+              ~lambda ~n verdict
+          in
+          let oc = open_out path in
+          output_string oc s;
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "certificate written to %s@." path
+      | None -> ());
+      let lhb =
+        FS.Certificate.log_horizon_bound
+          (if m = 2 then FS.Assigned.Line_symmetric else FS.Assigned.Orc_setting)
+          ~k ~demand:(if m = 2 then FS.Params.s p else q)
+          ~lambda ()
+      in
+      if lhb < infinity then
+        Format.printf
+          "no strategy can cover beyond ln N = %.3f (N ~ 10^%.1f) at this \
+           lambda@."
+          lhb
+          (lhb /. log 10.);
+      0
+
+let certify_cmd =
+  let doc = "Run the lower-bound certificate against a claimed ratio." in
+  Cmd.v
+    (Cmd.info "certify" ~doc)
+    Term.(
+      const certify_run $ m_arg $ k_arg $ f_arg $ n_arg $ lambda_arg
+      $ json_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* recheck                                                             *)
+
+let cert_file_arg =
+  let doc = "Certificate JSON file to re-check." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let recheck_run m k f file =
+  with_params m k f @@ fun p ->
+  let contents =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match FS.Certificate_io.parse_string contents with
+  | Error msg ->
+      Format.eprintf "cannot parse certificate: %s@." msg;
+      1
+  | Ok parsed -> (
+      match FS.Params.regime p with
+      | FS.Params.Ratio_one | FS.Params.Unsolvable ->
+          Format.eprintf "recheck: instance not in the searching regime@.";
+          1
+      | FS.Params.Searching -> (
+          let strat = FS.Mray_exponential.make p in
+          let turns = FS.Orc_cover.of_mray_group strat in
+          match FS.Certificate_io.recheck parsed ~turns with
+          | Ok () ->
+              Format.printf "certificate CONFIRMED against the (m=%d,k=%d,f=%d) \
+                             optimal strategy@." m k f;
+              0
+          | Error msg ->
+              Format.printf "certificate MISMATCH: %s@." msg;
+              1))
+
+let recheck_cmd =
+  let doc =
+    "Re-derive a JSON certificate (from 'certify --json') against the \
+     instance's optimal strategy and confirm the recorded verdict."
+  in
+  Cmd.v
+    (Cmd.info "recheck" ~doc)
+    Term.(const recheck_run $ m_arg $ k_arg $ f_arg $ cert_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let samples_arg =
+  let doc = "Number of sample points." in
+  Arg.(value & opt int 9 & info [ "samples" ] ~docv:"S" ~doc)
+
+let sweep_run m k f n samples =
+  with_params m k f @@ fun p ->
+  match FS.Params.regime p with
+  | FS.Params.Ratio_one | FS.Params.Unsolvable ->
+      Format.eprintf "sweep: instance not in the searching regime@.";
+      1
+  | FS.Params.Searching ->
+      let q = FS.Params.q p in
+      let a_star = FS.Formulas.alpha_star ~q ~k in
+      let tbl =
+        FS.Table.create
+          ~title:
+            (Format.asprintf "ratio vs alpha for %a (alpha* = %.6f)"
+               FS.Params.pp p a_star)
+          [ ("alpha", FS.Table.Right); ("predicted", FS.Table.Right);
+            ("simulated", FS.Table.Right) ]
+      in
+      for i = 0 to samples - 1 do
+        let t = float_of_int i /. float_of_int (samples - 1) in
+        let alpha = a_star *. (0.7 +. (0.8 *. t)) in
+        if alpha > 1.001 then begin
+          let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
+          let solution = FS.Solve.solve ~alpha problem in
+          let outcome =
+            FS.Adversary.worst_case (FS.Solve.trajectories solution) ~f ~n ()
+          in
+          FS.Table.add_row tbl
+            [
+              FS.Table.cell_f ~decimals:4 alpha;
+              FS.Table.cell_f ~decimals:4 solution.FS.Solve.designed_ratio;
+              FS.Table.cell_f ~decimals:4 outcome.FS.Adversary.ratio;
+            ]
+        end
+      done;
+      FS.Table.print tbl;
+      0
+
+let sweep_cmd =
+  let doc = "Ratio of the exponential strategy as a function of its base." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let target_arg =
+  let doc = "Target distance (placed on ray 0)." in
+  Arg.(value & opt float 42. & info [ "target" ] ~docv:"X" ~doc)
+
+let trace_run m k f target =
+  with_params m k f @@ fun p ->
+  match FS.Params.regime p with
+  | FS.Params.Unsolvable ->
+      Format.eprintf "trace: unsolvable instance@.";
+      1
+  | FS.Params.Ratio_one | FS.Params.Searching ->
+      let problem = FS.Problem.make ~m ~k ~f ~horizon:(4. *. target) () in
+      let solution = FS.Solve.solve problem in
+      let trajectories = FS.Solve.trajectories solution in
+      let world = FS.World.rays m in
+      let point = FS.World.point world ~ray:0 ~dist:target in
+      let horizon = 2. *. FS.Problem.bound problem *. target in
+      let first_visits =
+        FS.Engine.first_visits trajectories ~target:point ~horizon
+      in
+      let assignment =
+        FS.Fault.worst_for_visits FS.Fault.Crash ~first_visits ~f
+      in
+      FS.Event_log.print
+        (FS.Event_log.narrate_crash ~min_turn_depth:(target /. 100.)
+           trajectories ~assignment ~target:point ~horizon);
+      0
+
+let trace_cmd =
+  let doc = "Narrate a search run against the worst-case fault assignment." in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const trace_run $ m_arg $ k_arg $ f_arg $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* phase                                                               *)
+
+let phase_run m =
+  if m < 2 then begin
+    Format.eprintf "phase: need m >= 2@.";
+    1
+  end
+  else begin
+    let tbl =
+      FS.Table.create
+        ~title:(Printf.sprintf "regimes and ratios for m = %d" m)
+        ([ ("k \\ f", FS.Table.Right) ]
+        @ List.map (fun f -> (Printf.sprintf "f=%d" f, FS.Table.Right))
+            [ 0; 1; 2; 3 ])
+    in
+    for k = 1 to 10 do
+      let row =
+        string_of_int k
+        :: List.map
+             (fun f ->
+               if f > k then "-"
+               else
+                 match FS.Params.regime (FS.Params.make ~m ~k ~f) with
+                 | FS.Params.Unsolvable -> "x"
+                 | FS.Params.Ratio_one -> "1"
+                 | FS.Params.Searching ->
+                     FS.Table.cell_f ~decimals:3 (FS.Formulas.a_mray ~m ~k ~f))
+             [ 0; 1; 2; 3 ]
+      in
+      FS.Table.add_row tbl row
+    done;
+    FS.Table.print tbl;
+    0
+  end
+
+let phase_cmd =
+  let doc = "Regime table (unsolvable / ratio-one / searching) for m rays." in
+  Cmd.v (Cmd.info "phase" ~doc) Term.(const phase_run $ m_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fractional                                                          *)
+
+let eta_arg =
+  let doc = "Covering weight eta (> 1)." in
+  Arg.(value & opt float 2.0 & info [ "eta" ] ~docv:"ETA" ~doc)
+
+let fractional_run eta =
+  if eta <= 1. then begin
+    Format.eprintf "fractional: need eta > 1@.";
+    1
+  end
+  else begin
+    Format.printf "C(%g) = %.6f@." eta (FS.Fractional.c_eta eta);
+    let tbl =
+      FS.Table.create
+        [
+          ("q_i/k_i", FS.Table.Left); ("lambda0(q_i,k_i)", FS.Table.Right);
+          ("excess", FS.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (r, v) ->
+        FS.Table.add_row tbl
+          [
+            Format.asprintf "%a" FS.Rational.pp r;
+            FS.Table.cell_f ~decimals:6 v;
+            FS.Table.cell_f ~decimals:6 (v -. FS.Fractional.c_eta eta);
+          ])
+      (FS.Fractional.upper_approximations ~eta ~count:8);
+    FS.Table.print tbl;
+    0
+  end
+
+let fractional_cmd =
+  let doc = "The fractional relaxation C(eta) and its rational approximants." in
+  Cmd.v (Cmd.info "fractional" ~doc) Term.(const fractional_run $ eta_arg)
+
+(* ------------------------------------------------------------------ *)
+(* random (the KRT randomized cow path)                                *)
+
+let random_run () =
+  let beta = FS.Randomized.optimal_beta () in
+  Format.printf "optimal beta: %.6f (root of b ln b = b + 1)@." beta;
+  Format.printf "expected competitive ratio: %.6f (deterministic: 9)@."
+    (FS.Randomized.optimal_ratio ());
+  Format.printf "quadrature check at x = 1000: %.6f@."
+    (FS.Randomized.expected_ratio_exact ~beta ~x:1000. ~grid:2000);
+  0
+
+let random_cmd =
+  let doc = "The optimal randomized single-robot line search (Kao-Reif-Tate)." in
+  Cmd.v (Cmd.info "random" ~doc) Term.(const random_run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let budget_arg =
+  let doc = "Target competitive ratio." in
+  Arg.(value & opt float 6.0 & info [ "budget" ] ~docv:"L" ~doc)
+
+let max_f_arg =
+  let doc = "Largest fault count to tabulate." in
+  Arg.(value & opt int 4 & info [ "max-f" ] ~docv:"F" ~doc)
+
+let plan_run m budget max_f =
+  if m < 2 then begin
+    Format.eprintf "plan: need m >= 2@.";
+    1
+  end
+  else begin
+    Format.printf "fleets achieving ratio <= %g on %d rays:@." budget m;
+    if budget >= 3. then
+      Format.printf "(continuous frontier: rho = m(f+1)/k <= %.6f)@.@."
+        (FS.Planning.rho_for_lambda ~lambda:budget);
+    let tbl =
+      FS.Table.create
+        [
+          ("f", FS.Table.Right); ("min robots k", FS.Table.Right);
+          ("achieved ratio", FS.Table.Right);
+        ]
+    in
+    List.iter
+      (fun { FS.Planning.k; f; ratio } ->
+        FS.Table.add_row tbl
+          [
+            FS.Table.cell_i f; FS.Table.cell_i k;
+            FS.Table.cell_f ~decimals:6 ratio;
+          ])
+      (FS.Planning.cheapest_fleets ~m ~lambda:budget ~max_f);
+    FS.Table.print tbl;
+    0
+  end
+
+let plan_cmd =
+  let doc = "Smallest fleets achieving a target ratio (inverse of Theorem 6)." in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(const plan_run $ m_arg $ budget_arg $ max_f_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let out_arg =
+  let doc = "Write the markdown report to $(docv) ('-' for stdout)." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let report_run m k f n out =
+  with_params m k f @@ fun _p ->
+  match FS.Problem.make ~m ~k ~f ~horizon:n () with
+  | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      1
+  | problem -> (
+      match FS.Report.build problem with
+      | exception FS.Solve.Unsolvable msg ->
+          Format.eprintf "unsolvable: %s@." msg;
+          1
+      | report ->
+          let md = FS.Report.to_markdown report in
+          if out = "-" then print_string md
+          else begin
+            let oc = open_out out in
+            output_string oc md;
+            close_out oc;
+            Format.printf "report written to %s@." out
+          end;
+          0)
+
+let report_cmd =
+  let doc = "Full markdown report for one instance (bounds, simulation, \
+             exact supremum, covering, certificate)." in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const report_run $ m_arg $ k_arg $ f_arg $ n_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "parallel search on m rays with faulty robots (PODC 2018)" in
+  let info = Cmd.info "faulty-search" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      bounds_cmd; simulate_cmd; certify_cmd; recheck_cmd; sweep_cmd; trace_cmd;
+      phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/byzantine_claims.ml: Array Faulty_search Format List Printf

@@ -1,0 +1,1 @@
+examples/contract_scheduling.ml: Array Faulty_search Format

@@ -1,0 +1,1 @@
+examples/cow_path.ml: Faulty_search Format List

@@ -1,0 +1,1 @@
+examples/cow_path.mli:

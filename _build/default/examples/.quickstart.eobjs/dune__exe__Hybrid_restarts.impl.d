@@ -1,0 +1,1 @@
+examples/hybrid_restarts.ml: Faulty_search Format List

@@ -1,0 +1,1 @@
+examples/lost_hiker.ml: Faulty_search Float Format List

@@ -1,0 +1,1 @@
+examples/parallel_rays.ml: Faulty_search Format List Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Faulty_search Format

@@ -1,0 +1,1 @@
+examples/rescue_fleet.ml: Array Faulty_search Format

@@ -1,0 +1,1 @@
+examples/rescue_fleet.mli:

@@ -1,0 +1,79 @@
+(* Byzantine robots: silence and lies.
+
+   Czyzowitz et al. (ISAAC'16) let faulty robots do worse than stay
+   silent: they "may claim [to have] found the target when, in fact,
+   [they have] not found it".  The paper's contribution here is the
+   transfer B(k, f) >= A(k, f): every crash adversary is a Byzantine
+   adversary, so the new crash lower bound lifts B(3,1) from 3.93 to
+   (8/3) 4^(1/3) + 1 ~ 5.2331.
+
+   This example plays out a concrete Byzantine episode under the
+   conservative confirmation rule (a location counts as found once f+1
+   distinct robots have announced it there):
+
+     1. a faulty robot falsely claims the target early and nearby;
+     2. the claim never gathers f+1 = 2 announcers: no false alarm;
+     3. the true target is confirmed once two robots have reached it —
+        exactly the crash-model detection time, demonstrating the
+        transfer on a live run. *)
+
+module FS = Faulty_search
+
+let () =
+  let problem = FS.Problem.line ~fault_kind:FS.Problem.Byzantine ~k:3 ~f:1 () in
+  Format.printf "instance: %a@." FS.Problem.pp problem;
+  Format.printf "crash-transfer lower bound: B(3,1) >= %.6f (was 3.93)@.@."
+    (FS.Problem.bound problem);
+
+  let solution = FS.Solve.solve problem in
+  let trajectories = FS.Solve.trajectories solution in
+  let target = FS.World.point FS.World.line ~ray:1 ~dist:25. in
+  (* long enough for a third robot to reach the target: the confirmation
+     rule needs f+1 = 2 announcers, and the faulty visitor stays silent *)
+  let horizon = 16. *. 25. in
+
+  (* adversary: robot 1 is Byzantine *)
+  let assignment = FS.Fault.make FS.Fault.Byzantine ~faulty:[| false; true; false |] in
+
+  (* the liar fabricates a claim at whatever spot it occupies at t = 3 *)
+  let lie_spot = FS.Trajectory.position trajectories.(1) 3.0 in
+  let lie = { FS.Byzantine_sim.robot = 1; place = lie_spot; at_time = 3.0 } in
+  Format.printf "robot-1 falsely announces the target at %a (t = 3)@.@."
+    FS.World.pp_point lie_spot;
+
+  let result =
+    FS.Byzantine_sim.run trajectories ~assignment ~lies:[ lie ] ~target ~horizon
+  in
+  (match result.FS.Byzantine_sim.false_confirmation with
+  | None -> Format.printf "no false confirmation: the lie dies alone@."
+  | Some (p, t) ->
+      Format.printf "SAFETY VIOLATION: %a confirmed at %g@." FS.World.pp_point p t);
+  (match result.FS.Byzantine_sim.confirmed_at with
+  | Some t ->
+      Format.printf "true target confirmed at t = %.3f (ratio %.4f)@." t (t /. 25.)
+  | None -> Format.printf "target not confirmed within the horizon@.");
+
+  (* the transfer direction, numerically: the conservative Byzantine rule
+     can only be slower than crash detection (B >= A) *)
+  let byz = FS.Byzantine_sim.worst_case_detection trajectories ~f:1 ~target ~horizon in
+  let crash = FS.Engine.detection_time_worst trajectories ~f:1 ~target ~horizon in
+  Format.printf
+    "@.worst-case detection: byzantine rule %s (needs 2f+1 = 3 visitors), \
+     crash %s (needs f+1 = 2) — Byzantine is harder, hence B(k,f) >= A(k,f)@."
+    (match byz with Some t -> Printf.sprintf "%.3f" t | None -> "-")
+    (match crash with Some t -> Printf.sprintf "%.3f" t | None -> "-");
+
+  (* and a short annotated timeline *)
+  Format.printf "@.timeline:@.";
+  List.iter
+    (fun ev ->
+      match ev with
+      | FS.Byzantine_sim.Visit { robot; time } ->
+          Format.printf "  [t=%7.3f] robot-%d reaches the target@." time robot
+      | FS.Byzantine_sim.Announcement { robot; place; at_time } ->
+          Format.printf "  [t=%7.3f] robot-%d announces target at %a@." at_time
+            robot FS.World.pp_point place
+      | FS.Byzantine_sim.Confirmed { place; time } ->
+          Format.printf "  [t=%7.3f] CONFIRMED at %a@." time FS.World.pp_point
+            place)
+    result.FS.Byzantine_sim.events

@@ -1,0 +1,67 @@
+(* Contract algorithms as ray search (Bernstein-Finkelstein-Zilberstein).
+
+   A *contract algorithm* must be told its deadline in advance; run it for
+   time t and interrupt it earlier, and you get nothing.  To build an
+   *interruptible* solver for m problems out of contract algorithms, a
+   processor runs contracts of increasing lengths, cycling through the
+   problems; when interrupted at time T and asked about problem i, it
+   returns the longest completed contract for i.
+
+   Interpreting each problem as a ray (progress = distance) makes the
+   schedule a ray-search strategy: the acceleration ratio of the schedule
+   is exactly the competitive ratio of the search.  Theorem 6 (f = 0)
+   therefore gives the optimal acceleration ratio for k processors and m
+   problems — resolving the question [11] answered only for cyclic
+   schedules.
+
+   Below: m = 4 problems on k = 2 processors. *)
+
+module FS = Faulty_search
+
+let () =
+  let m = 4 and k = 2 in
+  let problem = FS.Problem.make ~m ~k ~f:0 ~horizon:1e4 () in
+  Format.printf "m = %d problems, k = %d processors@." m k;
+  Format.printf "optimal acceleration ratio (Theorem 6, f=0): %.6f@."
+    (FS.Problem.bound problem);
+
+  let solution = FS.Solve.solve problem in
+  let trajectories = FS.Solve.trajectories solution in
+
+  (* print the first contracts each processor schedules *)
+  Format.printf "@.first contracts per processor (problem, length):@.";
+  Array.iteri
+    (fun r itin ->
+      Format.printf "  processor %d:" r;
+      (* excursions are odd waypoints; show those with length in [0.1, 100] *)
+      let shown = ref 0 in
+      let i = ref 1 in
+      while !shown < 6 && !i < 200 do
+        let wp = FS.Itinerary.waypoint itin ((2 * !i) - 1) in
+        if wp.FS.World.dist >= 0.1 && wp.FS.World.dist <= 100. then begin
+          Format.printf " (P%d, %.3f)" wp.FS.World.ray wp.FS.World.dist;
+          incr shown
+        end;
+        incr i
+      done;
+      Format.printf "@.")
+    solution.FS.Solve.group.FS.Group.itineraries;
+
+  (* measured acceleration ratio *)
+  let outcome = FS.Adversary.worst_case trajectories ~f:0 ~n:1e4 () in
+  Format.printf "@.measured acceleration ratio on [1, 10^4]: %.6f@."
+    outcome.FS.Adversary.ratio;
+
+  (* compare against the naive round-robin of doubling contracts *)
+  let naive = FS.Baseline.replicated_mray ~m ~k in
+  let naive_ratio =
+    (FS.Adversary.worst_case
+       (Array.map FS.Trajectory.compile naive)
+       ~f:0 ~n:1e4 ())
+      .FS.Adversary.ratio
+  in
+  Format.printf
+    "naive (each processor independently sweeps all problems): %.6f@."
+    naive_ratio;
+  Format.printf "speedup factor from coordination: %.3f@."
+    (naive_ratio /. outcome.FS.Adversary.ratio)

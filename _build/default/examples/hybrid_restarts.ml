@@ -1,0 +1,54 @@
+(* Hybrid algorithms (Kao-Ma-Sipser-Yin): m candidate algorithms, k memory
+   areas, and a faulty twist.
+
+   "There is a problem Q and m basic algorithms for solving Q.  For some
+   k <= m, we have a computer with k disjoint memory areas ... In the
+   worst case, only one basic algorithm can solve Q in finite time."
+   Running basic algorithm i for x steps = advancing to distance x on ray
+   i; switching costs the progress already made plus the new advance
+   (the star metric).
+
+   The faulty generalisation is natural here too: suppose up to f of the
+   memory areas are flaky — a computation that finishes inside a flaky
+   area is silently lost.  Then a result must be reproduced in f + 1
+   areas before it can be trusted, and the optimal slowdown is exactly
+   A(m, k, f) of Theorem 6.
+
+   Below: m = 3 solvers, k = 2 memory areas, f = 0 vs f = 1. *)
+
+module FS = Faulty_search
+
+let run ~m ~k ~f =
+  let problem = FS.Problem.make ~m ~k ~f ~horizon:1e4 () in
+  match FS.Params.regime problem.FS.Problem.params with
+  | FS.Params.Unsolvable -> Format.printf "(m=%d k=%d f=%d): unsolvable@." m k f
+  | FS.Params.Ratio_one ->
+      Format.printf "(m=%d k=%d f=%d): slowdown 1 (enough areas)@." m k f
+  | FS.Params.Searching ->
+      let solution = FS.Solve.solve problem in
+      let measured =
+        (FS.Adversary.worst_case (FS.Solve.trajectories solution) ~f ~n:1e4 ())
+          .FS.Adversary.ratio
+      in
+      Format.printf
+        "(m=%d k=%d f=%d): optimal slowdown %.5f, measured %.5f@." m k f
+        (FS.Problem.bound problem) measured
+
+let () =
+  Format.printf "hybrid-algorithm slowdowns (time vs the best solver):@.";
+  run ~m:3 ~k:2 ~f:0;
+  run ~m:3 ~k:2 ~f:1;
+  run ~m:3 ~k:1 ~f:0;
+  (* the classic single-area case: 1 + 2 m^m/(m-1)^(m-1) *)
+  Format.printf "@.single memory area, m solvers (classic):@.";
+  List.iter
+    (fun m ->
+      Format.printf "  m = %d: %.5f@." m (FS.Formulas.single_robot_mray ~m))
+    [ 2; 3; 4; 5; 6 ];
+  (* how the slowdown decays as areas are added, m = 6 *)
+  Format.printf "@.m = 6 solvers, k areas (f = 0):@.";
+  List.iter
+    (fun k ->
+      let v = FS.Formulas.a_mray ~m:6 ~k ~f:0 in
+      Format.printf "  k = %d: %.5f@." k v)
+    [ 1; 2; 3; 4; 5; 6 ]

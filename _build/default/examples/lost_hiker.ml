@@ -1,0 +1,74 @@
+(* A lost hiker with a trail map: the stochastic (Bellman) version.
+
+   Bellman's 1963 formulation — the origin of the whole line-search
+   literature — gives the searcher a probability distribution over the
+   target's location and asks for minimal *expected* travel.  Beck and
+   Newman later showed that without the distribution one cannot beat 9
+   times the expected distance; with it, one often can.
+
+   Scenario: a hiker is lost on a trail. Rangers believe the hiker is
+   most likely within a few kilometres of the trailhead (geometric-ish
+   decay), slightly more likely to have headed north.  One ranger
+   searches at unit speed.
+
+   We compare, on this *known* distribution:
+     - the worst-case-optimal doubling search (distribution-free);
+     - the optimal *randomized* search (also distribution-free);
+     - a distribution-aware plan (sweep the likely side first). *)
+
+module FS = Faulty_search
+
+let () =
+  (* hand-built distribution: north (ray 0) heavier than south *)
+  let spot ray dist w = (FS.World.point FS.World.line ~ray ~dist, w) in
+  let dist =
+    FS.Stochastic.make
+      [
+        spot 0 1. 0.18; spot 0 2. 0.15; spot 0 4. 0.12; spot 0 8. 0.09;
+        spot 0 16. 0.06; spot 1 1. 0.12; spot 1 2. 0.10; spot 1 4. 0.08;
+        spot 1 8. 0.06; spot 1 16. 0.04;
+      ]
+  in
+  Format.printf "expected distance to the hiker: %.3f km@.@."
+    (FS.Stochastic.expected_distance dist);
+
+  (* distribution-free: the doubling search *)
+  let cow = [| FS.Trajectory.compile (FS.Cyclic.doubling_cow ()) |] in
+  let q_doubling = FS.Stochastic.beck_quotient cow ~f:0 dist ~horizon:1e4 in
+  Format.printf "doubling search (worst-case optimal, ratio 9):@.";
+  Format.printf "  expected time / expected distance = %.4f@.@." q_doubling;
+
+  (* distribution-free randomized *)
+  let beta = FS.Randomized.optimal_beta () in
+  Format.printf "randomized search (KRT, expected ratio %.4f on EVERY target):@."
+    (FS.Randomized.optimal_ratio ());
+  (* evaluate E over both the distribution and the randomness *)
+  let expected_random =
+    List.fold_left
+      (fun acc (p, w) ->
+        let x = FS.World.line_coordinate p in
+        acc
+        +. w
+           *. FS.Randomized.expected_ratio_exact ~beta ~x ~grid:400
+           *. Float.abs x)
+      0. dist.FS.Stochastic.support
+  in
+  Format.printf "  expected time / expected distance = %.4f@.@."
+    (expected_random /. FS.Stochastic.expected_distance dist);
+
+  (* distribution-aware: sweep the heavy side first *)
+  let q_sided = FS.Stochastic.best_sided_sweep dist in
+  Format.printf "sided sweep (needs the map): %.4f@.@." q_sided;
+
+  Format.printf
+    "the map wins: the sided sweep beats both distribution-free plans.@.";
+  Format.printf
+    "note how the doubling search also lands well under its worst-case 9@.";
+  Format.printf
+    "here — this hiker distribution happens to sit near its turn points —@.";
+  Format.printf
+    "while the randomized guarantee %.4f holds uniformly for EVERY target,@."
+    (FS.Randomized.optimal_ratio ());
+  Format.printf
+    "which is the distinction Beck-Newman's 9 is about: no deterministic@.";
+  Format.printf "plan is this good on all distributions at once.@."

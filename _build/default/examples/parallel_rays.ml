@@ -1,0 +1,64 @@
+(* Parallel search on m rays: the thirty-year question.
+
+   "When specialized to the case f = 0, this resolves the question on
+   parallel search on m rays, posed by three groups of scientists some
+   15 to 30 years ago: by Baeza-Yates, Culberson, and Rawlins; by Kao,
+   Ma, Sipser, and Yin; and by Bernstein, Finkelstein, and Zilberstein."
+
+   What was known before the paper:
+     - the optimal *single* robot ratio (1 + 2 m^m/(m-1)^(m-1)),
+     - the optimal *distance* (total work) version (Kao et al.),
+     - the optimal ratio among *cyclic* strategies (Bernstein et al.).
+   What was open: is the cyclic strategies' value optimal among ALL
+   strategies?  Theorem 6 (f = 0) says yes:
+
+       A(m, k, 0) = 2 rho^rho/(rho-1)^(rho-1) + 1,   rho = m/k.
+
+   This example walks the m = 5, k = 3 instance end to end: the value,
+   the strategy that attains it, and the lower-bound certificate showing
+   nothing better exists. *)
+
+module FS = Faulty_search
+
+let () =
+  let m = 5 and k = 3 in
+  let problem = FS.Problem.make ~m ~k ~f:0 ~horizon:400. () in
+  let bound = FS.Problem.bound problem in
+  Format.printf "m = %d rays, k = %d robots, no faults@." m k;
+  Format.printf "Theorem 6: A(%d, %d, 0) = %.6f  (rho = %g)@.@." m k bound
+    (float_of_int m /. float_of_int k);
+
+  (* the upper bound: the cyclic exponential strategy attains it *)
+  let solution = FS.Solve.solve problem in
+  let trajectories = FS.Solve.trajectories solution in
+  let exact = FS.Exact_adversary.worst_case trajectories ~f:0 ~n:400. () in
+  Format.printf "cyclic exponential strategy, exact worst case on [1, 400]:@.";
+  Format.printf "  %.6f at %a (one-sided limit: %b)@.@."
+    exact.FS.Exact_adversary.sup FS.World.pp_point
+    (FS.World.point (FS.World.rays m) ~ray:exact.FS.Exact_adversary.witness_ray
+       ~dist:exact.FS.Exact_adversary.witness_dist)
+    (not exact.FS.Exact_adversary.attained);
+
+  (* the lower bound: claims below the value are refuted *)
+  let turns = Option.get (FS.Solve.orc_turns solution) in
+  List.iter
+    (fun fraction ->
+      let lambda = fraction *. bound in
+      let verdict =
+        FS.Certificate.check_orc ~turns ~demand:m ~lambda ~n:400.
+      in
+      Format.printf "claim %.4f (%.0f%% of the value): %a@." lambda
+        (100. *. fraction) FS.Certificate.pp_verdict verdict)
+    [ 0.90; 0.99; 1.001 ];
+
+  (* what the pre-2018 state of the art could and could not say *)
+  Format.printf "@.context:@.";
+  Format.printf "  single robot (classic):        %.6f@."
+    (FS.Formulas.single_robot_mray ~m);
+  Format.printf "  %d robots, cyclic (BFZ 2003):   %.6f (optimal among cyclic)@."
+    k bound;
+  Format.printf "  %d robots, ALL strategies:      %.6f (Theorem 6, this paper)@."
+    k bound;
+  Format.printf
+    "@.the last line is the news: no exotic non-cyclic schedule can do \
+     better.@."

@@ -1,0 +1,36 @@
+(* Quickstart: the whole public API in one page.
+
+   Three robots search the real line for a target hidden at unknown
+   distance >= 1; one of them is faulty (crash type: it silently ignores
+   the target).  The paper's Theorem 1 says the best possible competitive
+   ratio is A(3,1) = (8/3) 4^(1/3) + 1 ~ 5.233; we synthesize the optimal
+   strategy, simulate it against the worst-case adversary, and check the
+   covering relaxation that the matching lower bound rests on. *)
+
+module FS = Faulty_search
+
+let () =
+  let problem = FS.Problem.line ~k:3 ~f:1 ~horizon:1000. () in
+  Format.printf "problem: %a@." FS.Problem.pp problem;
+  Format.printf "tight competitive ratio (Theorem 1): %.6f@."
+    (FS.Problem.bound problem);
+
+  (* synthesize the optimal strategy and verify it end-to-end *)
+  let solution = FS.Solve.solve problem in
+  let report = FS.Verify.verify solution in
+  Format.printf "%a@." FS.Verify.pp report;
+  assert (FS.Verify.all_ok report);
+
+  (* the lower bound, executably: below the tight ratio, coverage of
+     [1, N] already fails *)
+  let lambda_low = FS.Problem.bound problem -. 0.05 in
+  (match FS.Solve.orc_turns solution with
+  | Some turns ->
+      let verdict =
+        FS.Certificate.check_line ~turns ~f:1 ~lambda:lambda_low ~n:1000.
+      in
+      Format.printf "at lambda = %.4f: %a@." lambda_low
+        FS.Certificate.pp_verdict verdict
+  | None -> ());
+
+  Format.printf "quickstart: all checks passed@."

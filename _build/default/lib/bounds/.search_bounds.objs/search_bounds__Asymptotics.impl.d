@@ -1,0 +1,1 @@
+lib/bounds/asymptotics.ml: Formulas Search_numerics

@@ -1,0 +1,1 @@
+lib/bounds/params.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/bounds/planning.ml: Formulas Fun List Params Search_numerics

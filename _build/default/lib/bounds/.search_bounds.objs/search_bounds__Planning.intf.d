@@ -1,0 +1,1 @@
+lib/bounds/planning.mli:

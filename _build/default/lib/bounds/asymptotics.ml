@@ -1,0 +1,32 @@
+module X = Search_numerics.Xfloat
+
+let scale_invariant ~q ~k ~c =
+  if c <= 0 then invalid_arg "Asymptotics.scale_invariant: need c > 0";
+  X.approx_eq ~eps:1e-12 (Formulas.mu ~q ~k) (Formulas.mu ~q:(c * q) ~k:(c * k))
+
+let strictly_decreasing_in_k ~q ~k =
+  if not (q > k && k > 1) then
+    invalid_arg "Asymptotics.strictly_decreasing_in_k: need q > k > 1";
+  Formulas.mu ~q ~k < Formulas.mu ~q:(q - 1) ~k:(k - 1)
+
+let epsilon' ~q ~k =
+  if not (q > k && k > 1) then invalid_arg "Asymptotics.epsilon': need q > k > 1";
+  (2. *. Formulas.mu ~q:(q - 1) ~k:(k - 1)) -. (2. *. Formulas.mu ~q ~k)
+
+let limit_rho_to_one = 3.
+let lambda_at_two = 9.
+let lambda_of_rho rho = (2. *. Formulas.mu_rho rho) +. 1.
+
+let monotone_on ~lo ~hi ~samples =
+  if not (1. <= lo && lo < hi) then
+    invalid_arg "Asymptotics.monotone_on: need 1 <= lo < hi";
+  if samples < 2 then invalid_arg "Asymptotics.monotone_on: need samples >= 2";
+  let step = (hi -. lo) /. float_of_int (samples - 1) in
+  let rec check i prev =
+    if i >= samples then true
+    else
+      let x = lo +. (float_of_int i *. step) in
+      let v = lambda_of_rho x in
+      if v > prev then check (i + 1) v else false
+  in
+  check 1 (lambda_of_rho lo)

@@ -1,0 +1,34 @@
+(** Limit behaviour and structural identities of the bound.
+
+    These are the sanity anchors of the whole reproduction: the bound's
+    scale invariance (used by the induction in Section 3.1), its endpoint
+    values, and its monotonicity, each checkable numerically. *)
+
+val scale_invariant : q:int -> k:int -> c:int -> bool
+(** Section 3.1: [mu(q, k) = mu(cq, ck)] for any [c > 0] — the bound only
+    depends on [rho = q/k].  Checked to relative tolerance 1e-12. *)
+
+val strictly_decreasing_in_k : q:int -> k:int -> bool
+(** Section 3.1: [mu(q, k) < mu(q-1, k-1)] provided [q > k > 1] — losing a
+    robot and one unit of demand makes the problem strictly harder in the
+    normalised sense.  (Used to define the induction gap [eps'].) *)
+
+val epsilon' : q:int -> k:int -> float
+(** The induction gap of Section 3.1:
+    [eps' = 2 mu(q-1, k-1) - 2 mu(q, k)].  Requires [q > k > 1]. *)
+
+val limit_rho_to_one : float
+(** [lim_{rho -> 1+} lambda(rho) = 3.]: with as many robots as the covering
+    demand, every point can be reached just in time both ways. *)
+
+val lambda_at_two : float
+(** [lambda(2) = 9.], the classic cow-path constant — one robot, two rays,
+    no faults (or any instance with [rho = 2]). *)
+
+val lambda_of_rho : float -> float
+(** [2 mu_rho rho + 1] for [rho >= 1]; the curve of experiment F1. *)
+
+val monotone_on : lo:float -> hi:float -> samples:int -> bool
+(** Numerically verifies that {!lambda_of_rho} is strictly increasing on
+    [[lo, hi]] (with [1 <= lo < hi]) over a sample grid — more faulty
+    robots per searcher can only hurt. *)

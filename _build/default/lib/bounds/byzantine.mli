@@ -1,0 +1,35 @@
+(** Lower bounds for Byzantine-type faulty robots.
+
+    A Byzantine robot (Czyzowitz et al., ISAAC'16) may stay silent like a
+    crash-faulty robot {e or} falsely claim to have found the target.  Every
+    crash-type adversary is a special case of a Byzantine adversary, so
+
+    [B(k, f) >= A(k, f)],
+
+    which is how the paper improves the known Byzantine bounds, e.g.
+    [B(3,1) >= 3.93] (ISAAC'16) is raised to
+    [B(3,1) >= (8/3) 4^(1/3) + 1 ~= 5.23]. *)
+
+val lower_bound : k:int -> f:int -> float
+(** The crash-transfer lower bound [A(k, f)] on the line, valid for
+    [B(k, f)].  Regime conventions as {!Formulas.a_line}. *)
+
+val lower_bound_mray : m:int -> k:int -> f:int -> float
+(** Same transfer on [m] rays: [B(m, k, f) >= A(m, k, f)]. *)
+
+val b31_exact : float
+(** The closed form [(8/3) * 4^(1/3) + 1] quoted in the introduction for
+    [B(3, 1)]; equals [lower_bound ~k:3 ~f:1]. *)
+
+type prior = { k : int; f : int; isaac16_bound : float }
+(** A previously published Byzantine lower bound, for comparison tables. *)
+
+val isaac16_priors : prior list
+(** The bounds from the ISAAC'16 paper that Section 1 compares against
+    (the paper quotes B(3,1) >= 3.93 explicitly; further entries use the
+    crash-free trivial bounds as conservative stand-ins and are marked by
+    [isaac16_bound = nan] when no published figure is quoted). *)
+
+val improvement : prior -> float
+(** [lower_bound] minus the prior bound — how much the paper's transfer
+    improves the state of the art (nan when the prior is unknown). *)

@@ -1,0 +1,65 @@
+(** Closed-form competitive-ratio bounds from the paper.
+
+    All exponentials are evaluated in log-domain ({!Search_numerics.Xfloat})
+    so the formulas remain accurate for extreme parameters (large [k], [rho]
+    close to 1 where [(rho-1)^(rho-1)] approaches the [0^0] boundary).
+
+    Notation matches the paper: for an instance [(m, k, f)] in the searching
+    regime, [q = m(f+1)], [s = q - k], [rho = q/k], and
+
+    - [mu(q, k)  = (q^q / ((q-k)^(q-k) k^k))^(1/k)]   — half the travel overhead;
+    - [lambda0   = 2 mu + 1]                           — Theorem 6 (eq. 9);
+    - [A(k, f)   = lambda0] with [m = 2]               — Theorem 1 (eq. 1);
+    - [C(eta)    = 2 eta^eta/(eta-1)^(eta-1) + 1]      — eq. (11). *)
+
+val mu : q:int -> k:int -> float
+(** [mu ~q ~k = (q^q / ((q-k)^(q-k) k^k))^(1/k)].  Requires [0 < k <= q];
+    at [k = q] the [0^0] convention gives [mu q q = 1] (hence [lambda0 = 3]),
+    the continuous boundary of the searching regime.
+    @raise Invalid_argument outside [0 < k <= q]. *)
+
+val mu_rho : float -> float
+(** [mu_rho rho = rho^rho / (rho-1)^(rho-1)], the scale-invariant form:
+    [mu ~q ~k = mu_rho (q/k)].  Requires [rho >= 1.] (continuity at 1 gives
+    [mu_rho 1. = 1.]). *)
+
+val lambda0 : q:int -> k:int -> float
+(** [lambda0 ~q ~k = 2 *. mu ~q ~k +. 1.]. *)
+
+val a_line : k:int -> f:int -> float
+(** Theorem 1: the tight competitive ratio [A(k, f)] on the line, in the
+    searching regime.  Returns [1.] in the ratio-one regime and [infinity]
+    when unsolvable, so the function is total over valid parameters. *)
+
+val a_mray : m:int -> k:int -> f:int -> float
+(** Theorem 6: [A(m, k, f)]; same regime conventions as {!a_line}. *)
+
+val of_params : Params.t -> float
+(** Bound for an instance, dispatching on {!Params.regime}. *)
+
+val c_eta : float -> float
+(** Eq. (11): the fractional one-ray retrieval ratio [C(eta)] for
+    [eta > 1.]; [C(1.) = 3.] by continuity.
+    @raise Invalid_argument for [eta < 1.]. *)
+
+val alpha_star : q:int -> k:int -> float
+(** The optimal base of the exponential strategy (appendix):
+    [alpha* = (q / (q - k))^(1/k)].  Requires [0 < k < q].
+
+    Note: the paper's appendix writes the optimum as [(mf/(mf-k))^(1/k)]
+    with an [f]-fold covering; the search problem needs an [(f+1)]-fold
+    covering (the adversary silences [f] visitors), so the demand is
+    [q = m(f+1)] — the appendix's [mf] is that [q].  With this reading the
+    strategy's ratio equals [lambda0], matching Theorem 6. *)
+
+val exponential_ratio : q:int -> k:int -> alpha:float -> float
+(** Competitive ratio of the exponential strategy with base [alpha]:
+    [1 + 2 alpha^q / (alpha^k - 1)] (appendix).  Requires [alpha > 1.].
+    Minimised at [alpha_star], where it equals [lambda0 ~q ~k]. *)
+
+val cow_path : float
+(** The classic single-robot line bound: [a_mray ~m:2 ~k:1 ~f:0 = 9.]. *)
+
+val single_robot_mray : m:int -> float
+(** Baeza-Yates–Culberson–Rawlins: [1 + 2 m^m / (m-1)^(m-1)], i.e.
+    [a_mray ~m ~k:1 ~f:0].  Requires [m >= 2]. *)

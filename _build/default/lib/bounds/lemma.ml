@@ -1,0 +1,25 @@
+module X = Search_numerics.Xfloat
+
+let poly ~s ~k ~mu_star x =
+  (x ** float_of_int s) *. ((mu_star -. x) ** float_of_int k)
+
+let argmax ~s ~k ~mu_star =
+  if s < 1 || k < 1 then invalid_arg "Lemma.argmax: need s, k >= 1";
+  if mu_star <= 0. then invalid_arg "Lemma.argmax: need mu_star > 0";
+  float_of_int s *. mu_star /. float_of_int (k + s)
+
+let ratio ~s ~k ~mu_star ~x =
+  if not (0. < x && x < mu_star) then
+    invalid_arg "Lemma.ratio: need 0 < x < mu_star";
+  let fs = float_of_int s and fk = float_of_int k in
+  exp
+    (X.log_pow mu_star fs -. X.log_pow x fs -. X.log_pow (mu_star -. x) fk)
+
+let ratio_lower_bound ~s ~k ~mu_star =
+  let fs = float_of_int s and fk = float_of_int k in
+  let fks = float_of_int (k + s) in
+  exp
+    (X.log_pow fks fks -. X.log_pow fs fs -. X.log_pow fk fk
+   -. X.log_pow mu_star fk)
+
+let delta ~s ~k ~mu = ratio_lower_bound ~s ~k ~mu_star:mu

@@ -1,0 +1,33 @@
+(** Lemmas 4 and 5 of the paper, as executable statements.
+
+    The potential-function argument hinges on the pointwise inequality
+
+    [mu*^s / (x^s (mu* - x)^k)  >=  (k+s)^(k+s) / (s^s k^k mu*^k)]
+
+    for all [0 < x < mu*] (Lemma 5, first part), with equality at the
+    maximiser [x = s mu* / (k + s)] of the denominator polynomial
+    (Lemma 4).  The certificate checker uses {!delta} as the guaranteed
+    per-step growth factor of the potential. *)
+
+val poly : s:int -> k:int -> mu_star:float -> float -> float
+(** [poly ~s ~k ~mu_star x = x^s (mu_star - x)^k], the polynomial of
+    Lemma 4.  Defined for all real [x] (the lemma restricts attention to
+    [(0, mu_star)]). *)
+
+val argmax : s:int -> k:int -> mu_star:float -> float
+(** Lemma 4: [s *. mu_star /. (k + s)], the unique interior maximiser of
+    {!poly} on [(0, mu_star)].  Requires [s >= 1], [k >= 1],
+    [mu_star > 0.]. *)
+
+val ratio : s:int -> k:int -> mu_star:float -> x:float -> float
+(** The left-hand side of Lemma 5: [mu_star^s / (x^s (mu_star - x)^k)].
+    Requires [0 < x < mu_star]. *)
+
+val ratio_lower_bound : s:int -> k:int -> mu_star:float -> float
+(** The right-hand side of Lemma 5's first inequality:
+    [(k+s)^(k+s) / (s^s k^k mu_star^k)].  Log-domain. *)
+
+val delta : s:int -> k:int -> mu:float -> float
+(** Lemma 5's growth factor [delta = (k+s)^(k+s) / (s^s k^k mu^k)].
+    Strictly greater than 1 exactly when [mu < mu (q=k+s, k)] — i.e. when
+    the claimed competitive ratio is below the paper's bound. *)

@@ -1,0 +1,29 @@
+type t = { m : int; k : int; f : int }
+
+exception Invalid of string
+
+let make ~m ~k ~f =
+  if m < 2 then raise (Invalid (Printf.sprintf "m = %d, need m >= 2" m));
+  if k < 1 then raise (Invalid (Printf.sprintf "k = %d, need k >= 1" k));
+  if f < 0 || f > k then
+    raise (Invalid (Printf.sprintf "f = %d, need 0 <= f <= k = %d" f k));
+  { m; k; f }
+
+let line ~k ~f = make ~m:2 ~k ~f
+let q t = t.m * (t.f + 1)
+let s t = q t - t.k
+let rho t = float_of_int (q t) /. float_of_int t.k
+
+type regime = Unsolvable | Ratio_one | Searching
+
+let regime t =
+  if t.f = t.k then Unsolvable
+  else if t.k >= q t then Ratio_one
+  else Searching
+
+let pp ppf t = Format.fprintf ppf "(m=%d, k=%d, f=%d)" t.m t.k t.f
+
+let pp_regime ppf = function
+  | Unsolvable -> Format.pp_print_string ppf "unsolvable"
+  | Ratio_one -> Format.pp_print_string ppf "ratio-one"
+  | Searching -> Format.pp_print_string ppf "searching"

@@ -1,0 +1,56 @@
+let achievable ~m ~k ~f ~lambda =
+  match Params.make ~m ~k ~f with
+  | exception Params.Invalid _ -> false
+  | p -> (
+      match Params.regime p with
+      | Params.Unsolvable -> false
+      | Params.Ratio_one -> lambda >= 1.
+      | Params.Searching -> Formulas.a_mray ~m ~k ~f <= lambda)
+
+let min_robots ~m ~f ~lambda =
+  if m < 2 then invalid_arg "Planning.min_robots: need m >= 2";
+  if f < 0 then invalid_arg "Planning.min_robots: need f >= 0";
+  if lambda <= 0. then invalid_arg "Planning.min_robots: need lambda > 0";
+  (* k = m(f+1) always achieves ratio 1; scan down from it.  A(m,k,f) is
+     monotone decreasing in k, so the first k that works from below is
+     the answer; linear scan is fine (k <= m(f+1)). *)
+  let top = m * (f + 1) in
+  if lambda < 1. then None
+  else
+    let rec down best k =
+      if k < f + 1 then best
+      else if achievable ~m ~k ~f ~lambda then down (Some k) (k - 1)
+      else best
+    in
+    down None top
+
+let max_faults ~m ~k ~lambda =
+  if m < 2 then invalid_arg "Planning.max_faults: need m >= 2";
+  if k < 1 then invalid_arg "Planning.max_faults: need k >= 1";
+  (* A is monotone increasing in f; scan up while achievable *)
+  let rec up best f =
+    if f > k then best
+    else if achievable ~m ~k ~f ~lambda then up (Some f) (f + 1)
+    else best
+  in
+  up None 0
+
+let rho_for_lambda ~lambda =
+  if lambda < 3. then invalid_arg "Planning.rho_for_lambda: need lambda >= 3";
+  if lambda = 3. then 1.
+  else
+    (* lambda(rho) is strictly increasing; bracket and bisect *)
+    let target rho = (2. *. Formulas.mu_rho rho) +. 1. -. lambda in
+    let rec grow hi = if target hi < 0. then grow (2. *. hi) else hi in
+    let hi = grow 2. in
+    Search_numerics.Root.brent ~f:target 1. hi
+
+type plan = { k : int; f : int; ratio : float }
+
+let cheapest_fleets ~m ~lambda ~max_f =
+  List.filter_map
+    (fun f ->
+      match min_robots ~m ~f ~lambda with
+      | Some k -> Some { k; f; ratio = Formulas.a_mray ~m ~k ~f }
+      | None -> None)
+    (List.init (max_f + 1) Fun.id)

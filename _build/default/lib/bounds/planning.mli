@@ -1,0 +1,35 @@
+(** Inverse use of the bound: resource planning.
+
+    Theorems 1 and 6 answer "what ratio do these robots achieve?"; a
+    deployer asks the inverse questions: how many robots buy a target
+    ratio, how many faults a fleet can absorb, which ratio a budget
+    affords.  All are monotone in the formula (more robots help, more
+    faults and more rays hurt — property-tested in [test_bounds]), so
+    integer search against {!Formulas.a_mray} answers them exactly. *)
+
+val min_robots : m:int -> f:int -> lambda:float -> int option
+(** Smallest [k] with [A(m, k, f) <= lambda], or [None] when even the
+    ratio-1 fleet size [m (f+1)] does not satisfy it (i.e.
+    [lambda < 1.]).  Requires [m >= 2], [f >= 0], [lambda > 0.]. *)
+
+val max_faults : m:int -> k:int -> lambda:float -> int option
+(** Largest [f] with [A(m, k, f) <= lambda]; [None] when even [f = 0]
+    exceeds the budget.  Requires [m >= 2], [k >= 1]. *)
+
+val achievable : m:int -> k:int -> f:int -> lambda:float -> bool
+(** [A(m, k, f) <= lambda], with the regime conventions (ratio-one
+    instances achieve everything [>= 1.]; unsolvable ones nothing). *)
+
+val rho_for_lambda : lambda:float -> float
+(** The largest [rho >= 1.] with [2 rho^rho/(rho-1)^(rho-1) + 1 <= lambda]
+    (by bisection; [lambda >= 3.]).  The continuous frontier the integer
+    searches discretise: a fleet achieves [lambda] iff
+    [m (f+1) / k <= rho_for_lambda lambda] (or it is in the ratio-one
+    regime).
+    @raise Invalid_argument when [lambda < 3.]. *)
+
+type plan = { k : int; f : int; ratio : float }
+
+val cheapest_fleets : m:int -> lambda:float -> max_f:int -> plan list
+(** For each [f] in [0 .. max_f], the smallest fleet achieving [lambda]
+    on [m] rays with its actual ratio — the procurement table. *)

@@ -1,0 +1,1 @@
+lib/core/faulty_search.ml: Problem Report Search_bounds Search_covering Search_numerics Search_sim Search_strategy Solve Verify

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Format Printf Problem Search_bounds Search_covering Search_sim Solve Verify

@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Problem Search_bounds Search_covering

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Format Option Problem Search_bounds Search_covering Search_strategy

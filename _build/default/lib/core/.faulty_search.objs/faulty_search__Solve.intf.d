@@ -1,0 +1,1 @@
+lib/core/solve.mli: Problem Search_sim Search_strategy

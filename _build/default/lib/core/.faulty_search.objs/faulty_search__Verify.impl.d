@@ -1,0 +1,1 @@
+lib/core/verify.ml: Float Format Problem Search_bounds Search_covering Search_numerics Search_sim Solve

@@ -1,0 +1,21 @@
+module Params = Search_bounds.Params
+
+type fault_kind = Crash | Byzantine
+
+type t = { params : Params.t; fault_kind : fault_kind; horizon : float }
+
+let make ?(fault_kind = Crash) ?(horizon = 1e4) ~m ~k ~f () =
+  if horizon < 1. || Float.is_nan horizon then
+    invalid_arg "Problem.make: need horizon >= 1";
+  { params = Params.make ~m ~k ~f; fault_kind; horizon }
+
+let line ?fault_kind ?horizon ~k ~f () = make ?fault_kind ?horizon ~m:2 ~k ~f ()
+
+let regime t = Params.regime t.params
+
+let bound t = Search_bounds.Formulas.of_params t.params
+
+let pp ppf t =
+  let kind = match t.fault_kind with Crash -> "crash" | Byzantine -> "byzantine" in
+  Format.fprintf ppf "%a %s faults, horizon %g" Params.pp t.params kind
+    t.horizon

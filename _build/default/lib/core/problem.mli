@@ -1,0 +1,33 @@
+(** Problem specifications for the public API.
+
+    A problem instance bundles the combinatorial parameters [(m, k, f)]
+    with the fault model and the finite evaluation horizon used by
+    simulation and verification (the theory concerns targets at any
+    distance [>= 1]; all empirical checks run on [[1, horizon]]). *)
+
+type fault_kind = Crash | Byzantine
+
+type t = private {
+  params : Search_bounds.Params.t;
+  fault_kind : fault_kind;
+  horizon : float;  (** evaluation horizon [N >= 1] *)
+}
+
+val make :
+  ?fault_kind:fault_kind -> ?horizon:float -> m:int -> k:int -> f:int -> unit
+  -> t
+(** Defaults: [Crash] faults, horizon [1e4].
+    @raise Search_bounds.Params.Invalid on bad [(m, k, f)];
+    @raise Invalid_argument on a horizon [< 1.]. *)
+
+val line : ?fault_kind:fault_kind -> ?horizon:float -> k:int -> f:int -> unit -> t
+(** [make ~m:2 ...]. *)
+
+val regime : t -> Search_bounds.Params.regime
+
+val bound : t -> float
+(** The tight competitive ratio of the instance: [A(m, k, f)] for crash
+    faults (Theorems 1 and 6); for Byzantine faults this is the paper's
+    {e lower} bound [B >= A] (the exact Byzantine value is open). *)
+
+val pp : Format.formatter -> t -> unit

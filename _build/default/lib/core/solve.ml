@@ -1,0 +1,51 @@
+module Params = Search_bounds.Params
+module Group = Search_strategy.Group
+module Mray = Search_strategy.Mray_exponential
+
+type solution = {
+  problem : Problem.t;
+  group : Group.t;
+  bound : float;
+  designed_ratio : float;
+  exponential : Mray.t option; (* the underlying strategy, searching regime *)
+}
+
+exception Unsolvable of string
+
+let solve ?alpha problem =
+  let params = problem.Problem.params in
+  match Params.regime params with
+  | Params.Unsolvable ->
+      raise
+        (Unsolvable
+           (Format.asprintf "%a: all robots may be faulty" Params.pp params))
+  | Params.Ratio_one ->
+      let group = Group.optimal ?alpha params in
+      {
+        problem;
+        group;
+        bound = Problem.bound problem;
+        designed_ratio = 1.;
+        exponential = None;
+      }
+  | Params.Searching ->
+      let strat = Mray.make ?alpha params in
+      let group =
+        {
+          Group.params;
+          itineraries = Mray.itineraries strat;
+          predicted_ratio = Mray.predicted_ratio strat;
+        }
+      in
+      {
+        problem;
+        group;
+        bound = Problem.bound problem;
+        designed_ratio = Mray.predicted_ratio strat;
+        exponential = Some strat;
+      }
+
+let trajectories t = Group.trajectories t.group
+
+let orc_turns t =
+  Option.map Search_covering.Orc.of_mray_group t.exponential

@@ -1,0 +1,1 @@
+lib/covering/assigned.ml: Array Float Format List Search_strategy

@@ -1,0 +1,1 @@
+lib/covering/assigned.mli: Format Search_strategy

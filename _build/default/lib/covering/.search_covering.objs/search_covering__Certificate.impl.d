@@ -1,0 +1,1 @@
+lib/covering/certificate.ml: Array Assigned Float Format List Orc Potential Printf Search_numerics Symmetric

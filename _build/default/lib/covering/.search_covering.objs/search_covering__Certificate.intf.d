@@ -1,0 +1,1 @@
+lib/covering/certificate.mli: Assigned Format Potential Search_strategy

@@ -1,0 +1,1 @@
+lib/covering/certificate_io.ml: Array Assigned Certificate Float Format List Option Potential Printf Result Search_numerics

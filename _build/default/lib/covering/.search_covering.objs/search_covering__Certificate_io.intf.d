@@ -1,0 +1,1 @@
+lib/covering/certificate_io.mli: Assigned Certificate Search_numerics Search_strategy

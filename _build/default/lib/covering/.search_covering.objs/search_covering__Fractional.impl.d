@@ -1,0 +1,1 @@
+lib/covering/fractional.ml: Array Float List Search_bounds Search_numerics Search_strategy

@@ -1,0 +1,1 @@
+lib/covering/fractional.mli: Search_numerics Search_strategy

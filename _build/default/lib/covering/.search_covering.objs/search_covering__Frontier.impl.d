@@ -1,0 +1,1 @@
+lib/covering/frontier.ml: Array Assigned Certificate Float List Search_bounds

@@ -1,0 +1,1 @@
+lib/covering/induction.ml: Array Assigned Float Hashtbl List Search_bounds Search_numerics Search_strategy

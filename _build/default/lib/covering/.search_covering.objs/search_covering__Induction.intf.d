@@ -1,0 +1,1 @@
+lib/covering/induction.mli: Assigned Search_numerics Search_strategy

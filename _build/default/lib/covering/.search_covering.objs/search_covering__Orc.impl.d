@@ -1,0 +1,1 @@
+lib/covering/orc.ml: Array Float List Search_bounds Search_numerics Search_sim Search_strategy

@@ -1,0 +1,1 @@
+lib/covering/orc.mli: Search_numerics Search_strategy

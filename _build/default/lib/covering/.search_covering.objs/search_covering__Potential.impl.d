@@ -1,0 +1,1 @@
+lib/covering/potential.ml: Array Assigned Float List Option Search_bounds

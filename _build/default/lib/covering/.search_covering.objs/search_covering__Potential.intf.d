@@ -1,0 +1,1 @@
+lib/covering/potential.mli: Assigned

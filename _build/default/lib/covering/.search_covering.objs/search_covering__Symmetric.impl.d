@@ -1,0 +1,1 @@
+lib/covering/symmetric.ml: Array Float List Search_numerics Search_strategy

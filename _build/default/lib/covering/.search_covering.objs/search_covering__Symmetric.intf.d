@@ -1,0 +1,1 @@
+lib/covering/symmetric.mli: Search_numerics Search_strategy

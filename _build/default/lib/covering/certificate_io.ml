@@ -1,0 +1,291 @@
+module Json = Search_numerics.Json
+
+type kind =
+  | Refuted_gap of { at : float; multiplicity : int }
+  | Refuted_potential of {
+      steps : int;
+      max_log_potential : float;
+      log_ceiling : float;
+    }
+  | Not_refuted of { delta : float }
+  | Inconclusive of string
+
+type parsed = {
+  setting : Assigned.setting;
+  k : int;
+  demand : int;
+  lambda : float;
+  n : float;
+  kind : kind;
+}
+
+let setting_to_string = function
+  | Assigned.Line_symmetric -> "line-symmetric"
+  | Assigned.Orc_setting -> "orc"
+
+let setting_of_string = function
+  | "line-symmetric" -> Ok Assigned.Line_symmetric
+  | "orc" -> Ok Assigned.Orc_setting
+  | s -> Error (Printf.sprintf "unknown setting %S" s)
+
+let kind_json = function
+  | Certificate.Refuted_gap { at; multiplicity; _ } ->
+      Json.Assoc
+        [
+          ("kind", Json.String "refuted-gap");
+          ("at", Json.Number at);
+          ("multiplicity", Json.Number (float_of_int multiplicity));
+        ]
+  | Certificate.Refuted_potential trace ->
+      Json.Assoc
+        [
+          ("kind", Json.String "refuted-potential");
+          ("steps", Json.Number (float_of_int (List.length trace.Potential.steps)));
+          ("max_log_potential", Json.Number trace.Potential.max_log_potential);
+          ("log_ceiling", Json.Number trace.Potential.log_ceiling);
+        ]
+  | Certificate.Not_refuted { delta; _ } ->
+      Json.Assoc
+        [ ("kind", Json.String "not-refuted"); ("delta", Json.Number delta) ]
+  | Certificate.Inconclusive reason ->
+      Json.Assoc
+        [ ("kind", Json.String "inconclusive"); ("reason", Json.String reason) ]
+
+let export ~setting ~k ~demand ~lambda ~n verdict =
+  Json.Assoc
+    [
+      ("format", Json.String "faulty-search-certificate/1");
+      ("setting", Json.String (setting_to_string setting));
+      ("k", Json.Number (float_of_int k));
+      ("demand", Json.Number (float_of_int demand));
+      ("lambda", Json.Number lambda);
+      ("n", Json.Number n);
+      ("verdict", kind_json verdict);
+    ]
+
+let export_string ?pretty ~setting ~k ~demand ~lambda ~n verdict =
+  Json.to_string ?pretty (export ~setting ~k ~demand ~lambda ~n verdict)
+
+let ( let* ) r f = Result.bind r f
+
+let field name extract json =
+  match Json.member name json with
+  | Some v -> (
+      match extract v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let parse json =
+  let* fmt = field "format" Json.to_string_value json in
+  let* () =
+    if fmt = "faulty-search-certificate/1" then Ok ()
+    else Error (Printf.sprintf "unknown format %S" fmt)
+  in
+  let* setting_s = field "setting" Json.to_string_value json in
+  let* setting = setting_of_string setting_s in
+  let* k = field "k" Json.to_int json in
+  let* demand = field "demand" Json.to_int json in
+  let* lambda = field "lambda" Json.to_float json in
+  let* n = field "n" Json.to_float json in
+  let* verdict = field "verdict" Option.some json in
+  let* kind_s = field "kind" Json.to_string_value verdict in
+  let* kind =
+    match kind_s with
+    | "refuted-gap" ->
+        let* at = field "at" Json.to_float verdict in
+        let* multiplicity = field "multiplicity" Json.to_int verdict in
+        Ok (Refuted_gap { at; multiplicity })
+    | "refuted-potential" ->
+        let* steps = field "steps" Json.to_int verdict in
+        let* max_log_potential = field "max_log_potential" Json.to_float verdict in
+        let* log_ceiling = field "log_ceiling" Json.to_float verdict in
+        Ok (Refuted_potential { steps; max_log_potential; log_ceiling })
+    | "not-refuted" ->
+        let* delta = field "delta" Json.to_float verdict in
+        Ok (Not_refuted { delta })
+    | "inconclusive" ->
+        let* reason = field "reason" Json.to_string_value verdict in
+        Ok (Inconclusive reason)
+    | s -> Error (Printf.sprintf "unknown verdict kind %S" s)
+  in
+  Ok { setting; k; demand; lambda; n; kind }
+
+let parse_string s =
+  let* json = Json.of_string s in
+  parse json
+
+type assignment_doc = {
+  a_setting : Assigned.setting;
+  a_k : int;
+  a_demand : int;
+  a_mu : float;
+  intervals : Assigned.interval list;
+}
+
+let export_assignment doc =
+  Json.Assoc
+    [
+      ("format", Json.String "faulty-search-assignment/1");
+      ("setting", Json.String (setting_to_string doc.a_setting));
+      ("k", Json.Number (float_of_int doc.a_k));
+      ("demand", Json.Number (float_of_int doc.a_demand));
+      ("mu", Json.Number doc.a_mu);
+      ( "intervals",
+        Json.List
+          (List.map
+             (fun (iv : Assigned.interval) ->
+               Json.List
+                 [
+                   Json.Number (float_of_int iv.Assigned.robot);
+                   Json.Number iv.Assigned.left;
+                   Json.Number iv.Assigned.turn;
+                 ])
+             doc.intervals) );
+    ]
+
+let parse_assignment json =
+  let* fmt = field "format" Json.to_string_value json in
+  let* () =
+    if fmt = "faulty-search-assignment/1" then Ok ()
+    else Error (Printf.sprintf "unknown format %S" fmt)
+  in
+  let* setting_s = field "setting" Json.to_string_value json in
+  let* a_setting = setting_of_string setting_s in
+  let* a_k = field "k" Json.to_int json in
+  let* a_demand = field "demand" Json.to_int json in
+  let* a_mu = field "mu" Json.to_float json in
+  let* items = field "intervals" Json.to_list json in
+  let* intervals =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Json.List [ r; l; t ] -> (
+            match (Json.to_int r, Json.to_float l, Json.to_float t) with
+            | Some robot, Some left, Some turn ->
+                Ok ({ Assigned.robot; left; turn } :: acc)
+            | _ -> Error "malformed interval entry")
+        | _ -> Error "malformed interval entry")
+      (Ok []) items
+  in
+  Ok { a_setting; a_k; a_demand; a_mu; intervals = List.rev intervals }
+
+let check_assignment doc =
+  let { a_setting; a_k = k; a_demand = demand; a_mu = mu; intervals } = doc in
+  if k < 1 then Error "k < 1"
+  else if demand < 1 then Error "demand < 1"
+  else if mu <= 0. then Error "mu <= 0"
+  else begin
+    let tol x = 1e-6 *. Float.max 1. (Float.abs x) in
+    let loads = Array.make k 0. in
+    let multiset = ref (List.init demand (fun _ -> 1.)) in
+    let insert x =
+      let rec ins = function
+        | [] -> [ x ]
+        | y :: r -> if x <= y then x :: y :: r else y :: ins r
+      in
+      match !multiset with
+      | _ :: rest -> multiset := ins rest
+      | [] -> assert false
+    in
+    let rec structural i = function
+      | [] -> Ok ()
+      | (iv : Assigned.interval) :: rest ->
+          let a = match !multiset with x :: _ -> x | [] -> 1. in
+          if iv.Assigned.robot < 0 || iv.Assigned.robot >= k then
+            Error (Printf.sprintf "interval %d: robot out of range" i)
+          else if Float.abs (iv.Assigned.left -. a) > tol a then
+            Error
+              (Printf.sprintf
+                 "interval %d: starts at %g, frontier is %g (coverage not \
+                  exact)"
+                 i iv.Assigned.left a)
+          else if iv.Assigned.turn <= a then
+            Error (Printf.sprintf "interval %d: does not extend the frontier" i)
+          else begin
+            let legal =
+              match a_setting with
+              | Assigned.Orc_setting ->
+                  loads.(iv.Assigned.robot) <= (mu *. a) +. tol (mu *. a)
+              | Assigned.Line_symmetric ->
+                  loads.(iv.Assigned.robot) +. iv.Assigned.turn
+                  <= (mu *. a) +. tol (mu *. a)
+            in
+            if not legal then
+              Error
+                (Printf.sprintf "interval %d: load constraint violated" i)
+            else begin
+              loads.(iv.Assigned.robot) <-
+                loads.(iv.Assigned.robot) +. iv.Assigned.turn;
+              insert iv.Assigned.turn;
+              structural (i + 1) rest
+            end
+          end
+    in
+    let* () = structural 1 intervals in
+    (* potential-level confirmation of Lemma 5 / eq. (8) on this object *)
+    match Potential.analyze a_setting ~k ~demand ~mu intervals with
+    | exception Invalid_argument msg -> Error msg
+    | trace ->
+        let delta = trace.Potential.delta in
+        let bad_step =
+          List.find_opt
+            (fun st ->
+              match st.Potential.step_ratio with
+              | Some r -> r < delta -. 1e-6
+              | None -> false)
+            trace.Potential.steps
+        in
+        (match bad_step with
+        | Some st ->
+            Error
+              (Printf.sprintf "step %d: potential ratio below delta"
+                 st.Potential.index)
+        | None ->
+            if trace.Potential.exceeded then
+              Error "potential exceeded its ceiling (inconsistent object)"
+            else Ok ())
+  end
+
+let recheck parsed ~turns =
+  let* () =
+    if Array.length turns = parsed.k then Ok ()
+    else
+      Error
+        (Printf.sprintf "certificate is for k = %d, got %d strategies"
+           parsed.k (Array.length turns))
+  in
+  let verdict =
+    match parsed.setting with
+    | Assigned.Line_symmetric ->
+        (* recover f from the line demand s = 2(f+1) - k *)
+        let f = (parsed.demand + parsed.k) / 2 - 1 in
+        Certificate.check_line ~turns ~f ~lambda:parsed.lambda ~n:parsed.n
+    | Assigned.Orc_setting ->
+        Certificate.check_orc ~turns ~demand:parsed.demand
+          ~lambda:parsed.lambda ~n:parsed.n
+  in
+  let close_rel a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs b) in
+  match (parsed.kind, verdict) with
+  | Refuted_gap { at; multiplicity }, Certificate.Refuted_gap g ->
+      if not (close_rel at g.at) then
+        Error (Printf.sprintf "gap witness moved: recorded %g, recomputed %g" at g.at)
+      else if multiplicity <> g.multiplicity then
+        Error
+          (Printf.sprintf "gap multiplicity: recorded %d, recomputed %d"
+             multiplicity g.multiplicity)
+      else Ok ()
+  | Refuted_potential r, Certificate.Refuted_potential trace ->
+      if not (close_rel r.max_log_potential trace.Potential.max_log_potential)
+      then Error "potential summary differs"
+      else if not (close_rel r.log_ceiling trace.Potential.log_ceiling) then
+        Error "ceiling differs"
+      else Ok ()
+  | Not_refuted { delta }, Certificate.Not_refuted v ->
+      if close_rel delta v.delta then Ok () else Error "delta differs"
+  | Inconclusive _, Certificate.Inconclusive _ -> Ok ()
+  | _, v ->
+      Error
+        (Format.asprintf "verdict kind changed: recomputed %a"
+           Certificate.pp_verdict v)

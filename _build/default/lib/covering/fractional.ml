@@ -1,0 +1,74 @@
+module Rational = Search_numerics.Rational
+module Formulas = Search_bounds.Formulas
+module Orc_round = Search_strategy.Orc_round
+
+type weighted = { weight : float; turns : Search_strategy.Turning.t }
+type verdict = Covered | Gap of { at : float; weight : float }
+
+let check fleet ~eta ~lambda ~n =
+  if eta < 1. then invalid_arg "Fractional.check: need eta >= 1";
+  if lambda <= 1. then invalid_arg "Fractional.check: need lambda > 1";
+  if n < 1. then invalid_arg "Fractional.check: need n >= 1";
+  List.iter
+    (fun w ->
+      if w.weight <= 0. then invalid_arg "Fractional.check: weights must be > 0")
+    fleet;
+  let mu = (lambda -. 1.) /. 2. in
+  (* weighted intervals: (weight, interval), multi-covering per round *)
+  let weighted_intervals =
+    List.concat_map
+      (fun { weight; turns } ->
+        Orc_round.cover_intervals_within turns ~mu ~within:(1., n) ()
+        |> List.map (fun (_, iv) -> (weight, iv)))
+      fleet
+  in
+  (* weighted sweep: evaluate total weight at piece midpoints *)
+  let cuts =
+    List.concat_map
+      (fun (_, (iv : Search_numerics.Interval1.t)) ->
+        [ iv.Search_numerics.Interval1.lo; iv.Search_numerics.Interval1.hi ])
+      weighted_intervals
+    |> List.filter (fun x -> x > 1. && x < n)
+    |> List.sort_uniq Float.compare
+  in
+  let points = (1. :: cuts) @ [ n ] in
+  let weight_at x =
+    List.fold_left
+      (fun acc (w, iv) ->
+        if Search_numerics.Interval1.mem x iv then acc +. w else acc)
+      0. weighted_intervals
+  in
+  let tolerance = 1e-12 *. eta in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        let mid = 0.5 *. (a +. b) in
+        let w = weight_at mid in
+        if w +. tolerance < eta then Gap { at = mid; weight = w }
+        else scan rest
+    | [ _ ] | [] -> Covered
+  in
+  scan points
+
+let upper_approximations ~eta ~count =
+  if eta <= 1. then invalid_arg "Fractional.upper_approximations: need eta > 1";
+  Rational.approximations_above ~target:eta ~count
+  |> List.map (fun r ->
+         let q = Rational.num r and k = Rational.den r in
+         (r, Formulas.lambda0 ~q ~k))
+
+let lower_bound_eps ~eta ~eps =
+  if not (eta -. eps > 1.) then
+    invalid_arg "Fractional.lower_bound_eps: need eta - eps > 1";
+  (2. *. Formulas.mu_rho (eta -. eps)) +. 1. -. eps
+
+let c_eta = Formulas.c_eta
+
+let split { weight; turns } ~parts =
+  if parts < 1 then invalid_arg "Fractional.split: need parts >= 1";
+  List.init parts (fun _ -> { weight = weight /. float_of_int parts; turns })
+
+let uniform_fleet ~k turns =
+  if Array.length turns <> k then
+    invalid_arg "Fractional.uniform_fleet: arity mismatch";
+  Array.to_list turns
+  |> List.map (fun t -> { weight = 1. /. float_of_int k; turns = t })

@@ -1,0 +1,51 @@
+(** Fractional one-ray retrieval with returns (Section 3, eq. (11)).
+
+    Finitely many weighted robots move on one ray; a point at distance
+    [x >= 1] must be λ-covered (in the with-returns, per-round sense) by
+    robots of total weight at least [eta], where weights are measured in
+    units of the whole fleet's weight.  The [q]-fold integer covering with
+    [k] robots is the instance where every robot has weight [1/k] and
+    [eta = q/k]; the tight ratio is
+    [C(eta) = 2 eta^eta/(eta-1)^(eta-1) + 1].
+
+    The appendix reduces both directions to Theorem 6 through rational
+    approximations [q_i / k_i -> eta]; this module implements that
+    reduction executably. *)
+
+type weighted = { weight : float; turns : Search_strategy.Turning.t }
+
+type verdict =
+  | Covered
+  | Gap of { at : float; weight : float }
+      (** a point whose timely covering weight falls short of [eta] *)
+
+val check : weighted list -> eta:float -> lambda:float -> n:float -> verdict
+(** Weighted ORC coverage check over [[1, n]]: at every point, the total
+    weight of robots λ-covering it (per round, ORC rules) must reach
+    [eta].  Weights must be positive. *)
+
+val upper_approximations :
+  eta:float -> count:int -> (Search_numerics.Rational.t * float) list
+(** The appendix's "≤" direction: rationals [q_i/k_i >= eta] converging
+    down to [eta], paired with the integer bound [lambda0 ~q:q_i ~k:k_i]
+    = the ratio achieved by splitting weights into [k_i] equal robots.
+    The floats converge (from above) to [C(eta)].  Requires [eta > 1.]. *)
+
+val lower_bound_eps : eta:float -> eps:float -> float
+(** The appendix's "≥" direction at granularity [eps]:
+    [2 (eta-eps)^(eta-eps) / (eta-eps-1)^(eta-eps-1) + 1 - eps], valid
+    for [eta -. eps > 1.]; converges to [C(eta)] as [eps -> 0]. *)
+
+val c_eta : float -> float
+(** Re-export of {!Search_bounds.Formulas.c_eta}: the limit value. *)
+
+val split : weighted -> parts:int -> weighted list
+(** The reduction step: replace one weighted robot by [parts] identical
+    robots of weight [weight /. parts] running the same turns ("just split
+    the weight between k_i robots in equal parts").  Coverage weights are
+    unchanged — checked by the property tests. *)
+
+val uniform_fleet :
+  k:int -> Search_strategy.Turning.t array -> weighted list
+(** [k] robots of weight [1/k] each — the embedding of the integer problem
+    into the fractional one.  Requires [Array.length turns = k]. *)

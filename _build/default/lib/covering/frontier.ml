@@ -1,0 +1,68 @@
+type result = { turns : float list; horizon : float; steps : int }
+
+let line_single ~lambda =
+  if lambda <= 1. then invalid_arg "Frontier.line_single: need lambda > 1";
+  let mu = (lambda -. 1.) /. 2. in
+  if mu >= 4. then
+    invalid_arg "Frontier.line_single: lambda >= 9, coverage is unbounded";
+  (* t_1 = mu (the largest first turn whose interval [t_1/mu, t_1] still
+     reaches down to 1); then t_i = mu t_{i-1} - sum_{<i} while growing *)
+  let rec grow acc sum prev =
+    let t = (mu *. prev) -. sum in
+    if t > prev then grow (t :: acc) (sum +. t) t else List.rev acc
+  in
+  let turns = grow [ mu ] mu mu in
+  let horizon = List.fold_left Float.max 1. turns in
+  { turns; horizon; steps = List.length turns }
+
+let line_single_horizon ~lambda = (line_single ~lambda).horizon
+
+let multi ~lambda ~k ~demand ?(max_steps = 100_000) () =
+  if lambda <= 1. then invalid_arg "Frontier.multi: need lambda > 1";
+  if k < 1 || demand < 1 then invalid_arg "Frontier.multi: need k, demand >= 1";
+  let mu = (lambda -. 1.) /. 2. in
+  let bound = Search_bounds.Formulas.lambda0 ~q:(k + demand) ~k in
+  if lambda >= bound then
+    invalid_arg "Frontier.multi: lambda at or above the instance's bound";
+  let loads = Array.make k 0. in
+  let insert x ms =
+    let rec ins = function
+      | [] -> [ x ]
+      | y :: r -> if x <= y then x :: y :: r else y :: ins r
+    in
+    ins ms
+  in
+  let rec loop multiset acc steps =
+    let a = match multiset with x :: _ -> x | [] -> 1. in
+    (* robot with the largest budget mu a - L_r *)
+    let best = ref 0 in
+    for r = 1 to k - 1 do
+      if loads.(r) < loads.(!best) then best := r
+    done;
+    let t = (mu *. a) -. loads.(!best) in
+    if t <= a || steps >= max_steps then
+      { turns = List.rev acc; horizon = a; steps }
+    else begin
+      loads.(!best) <- loads.(!best) +. t;
+      let multiset =
+        match multiset with _ :: rest -> insert t rest | [] -> [ t ]
+      in
+      loop multiset (t :: acc) (steps + 1)
+    end
+  in
+  loop (List.init demand (fun _ -> 1.)) [] 0
+
+let horizon_curve ~lambdas =
+  List.map
+    (fun lambda ->
+      let reach = log (line_single_horizon ~lambda) in
+      let cap =
+        Certificate.log_horizon_bound Assigned.Line_symmetric ~k:1 ~demand:1
+          ~lambda ()
+      in
+      (lambda, reach, cap))
+    lambdas
+
+let characteristic_discriminant ~lambda =
+  let mu = (lambda -. 1.) /. 2. in
+  (mu *. mu) -. (4. *. mu)

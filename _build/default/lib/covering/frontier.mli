@@ -1,0 +1,63 @@
+(** Optimal finite-horizon coverage below the bound.
+
+    Theorem 3 forbids λ-covering all of [R >= 1] below the bound, but its
+    quantitative form — inequality (12)'s ε–N trade-off — allows finite
+    prefixes [[1, N(lambda)]], with [N(lambda) -> infinity] as [lambda]
+    approaches the bound.  This module constructs the {e best} such
+    finite covering for a single robot on the line and measures how far
+    it reaches, the empirical lower half of the sandwich whose upper half
+    is {!Certificate.log_horizon_bound}.
+
+    Construction (one robot, [s = 1], [mu = (lambda-1)/2 < 4]): choose
+    each turning point {e greedily maximal},
+
+    [t_i = mu t_{i-1} - (t_1 + ... + t_{i-1})],
+
+    the largest value keeping the cover contiguous (constraint (5) with
+    the new interval starting at the previous turn).  Greedy is optimal
+    here: the next budget is [(mu - 1) t_i - sum_{<i}], strictly
+    increasing in [t_i] (as [mu > 1]), so taking the maximum now
+    dominates every alternative both immediately and in all future
+    steps.  The recursion is linear with characteristic polynomial
+    [z^2 - mu z + mu]; below [mu = 4] its roots are complex and the
+    sequence turns over and dies in finitely many steps — the same
+    [mu = 4] (i.e. [lambda = 9]) boundary the potential argument yields. *)
+
+type result = {
+  turns : float list;
+      (** the greedy-maximal turning points; [t_1 = mu], the largest
+          first turn whose cover interval still reaches down to 1 *)
+  horizon : float;  (** the last coverable point, [= last turn] *)
+  steps : int;
+}
+
+val line_single : lambda:float -> result
+(** The optimal single-robot finite covering at [lambda < 9.]; for
+    [lambda >= 9.] the recursion grows forever, and the function raises.
+    @raise Invalid_argument when [lambda >= 9.] or [lambda <= 1.]. *)
+
+val line_single_horizon : lambda:float -> float
+(** Just the reach. *)
+
+val multi : lambda:float -> k:int -> demand:int -> ?max_steps:int -> unit -> result
+(** The multi-robot generalisation (line setting): free choice of turn
+    values, greedy-maximal at every step — at frontier [a], the robot
+    with the largest remaining budget [mu a - L_r] takes an interval
+    ending there (constraint (5) with equality).  Exact and provably
+    optimal for [k = 1, demand = 1] (it then equals {!line_single});
+    for larger instances the greedy is a strong heuristic lower bound on
+    the optimal reach, still capped by
+    {!Certificate.log_horizon_bound}.  Requires [lambda] strictly below
+    the instance's bound (otherwise the loop would not terminate; it is
+    also guarded by [max_steps], default 100_000, returning the reach so
+    far).  [turns] in the result are the assigned right ends in
+    assignment order. *)
+
+val horizon_curve : lambdas:float list -> (float * float * float) list
+(** For each λ: [(lambda, ln horizon, ln theoretical_bound)] — the
+    empirical reach against {!Certificate.log_horizon_bound}'s cap; both
+    diverge as [lambda -> 9.], the constructed one always below. *)
+
+val characteristic_discriminant : lambda:float -> float
+(** [mu^2 - 4 mu] for [mu = (lambda-1)/2]: negative exactly below the
+    bound (oscillatory death), zero at [lambda = 9.]. *)

@@ -1,0 +1,81 @@
+module Sweep = Search_numerics.Sweep
+
+type jump = { robot : int; from_left : float; to_left : float }
+
+let per_robot_lefts intervals =
+  let tbl : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (iv : Assigned.interval) ->
+      match Hashtbl.find_opt tbl iv.Assigned.robot with
+      | Some l -> l := iv.Assigned.left :: !l
+      | None -> Hashtbl.add tbl iv.Assigned.robot (ref [ iv.Assigned.left ]))
+    intervals;
+  Hashtbl.fold (fun robot lefts acc -> (robot, List.rev !lefts) :: acc) tbl []
+  |> List.sort compare
+
+let consecutive_ratios intervals =
+  per_robot_lefts intervals
+  |> List.concat_map (fun (robot, lefts) ->
+         let rec pairs = function
+           | a :: (b :: _ as rest) when a > 0. ->
+               { robot; from_left = a; to_left = b } :: pairs rest
+           | _ :: rest -> pairs rest
+           | [] -> []
+         in
+         pairs lefts)
+
+let jumps intervals ~c =
+  if c <= 1. then invalid_arg "Induction.jumps: need c > 1";
+  List.filter (fun j -> j.to_left /. j.from_left >= c) (consecutive_ratios intervals)
+
+let observed_c intervals =
+  List.fold_left
+    (fun acc j -> Float.max acc (j.to_left /. j.from_left))
+    1. (consecutive_ratios intervals)
+
+type case =
+  | Case1 of { c : float }
+  | Case2 of {
+      jump : jump;
+      window : float * float;
+      rescale : float;
+      reduced_k : int;
+      reduced_demand : int;
+    }
+
+let classify intervals ~k ~demand ~mu ~c =
+  match jumps intervals ~c with
+  | [] -> Case1 { c = observed_c intervals }
+  | jump :: _ ->
+      let lo = mu *. jump.from_left and hi = c *. jump.from_left in
+      Case2
+        {
+          jump;
+          window = (lo, hi);
+          rescale = lo;
+          reduced_k = k - 1;
+          reduced_demand = demand - 1;
+        }
+
+let verify_reduction ~turns ~jump ~mu ~demand =
+  let k = Array.length turns in
+  if jump.robot < 0 || jump.robot >= k then
+    invalid_arg "Induction.verify_reduction: jump robot out of range";
+  let others =
+    Array.to_list turns
+    |> List.filteri (fun r _ -> r <> jump.robot)
+    |> Array.of_list
+  in
+  let lo = Float.max 1. (mu *. jump.from_left) and hi = jump.to_left in
+  if lo >= hi then Sweep.Covered
+  else
+    let ivs =
+      Array.to_list others
+      |> List.concat_map (fun t ->
+             Search_strategy.Orc_round.cover_intervals_within t ~mu
+               ~within:(lo, hi) ()
+             |> List.map snd)
+    in
+    Sweep.check ~demand:(demand - 1) ~within:(lo, hi) ivs
+
+let epsilon' = Search_bounds.Asymptotics.epsilon'

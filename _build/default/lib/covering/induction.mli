@@ -1,0 +1,60 @@
+(** The Case-2 machinery of the Section 3.1 induction.
+
+    The ORC potential's boundedness (Case 1) needs consecutive starting
+    points of each robot's assigned intervals to stay within a constant
+    factor [C].  When a robot {e jumps} — [t'_{i+1} / t'_i >= C] — the
+    proof switches to Case 2: constraint (14) keeps all of that robot's
+    earlier intervals below [mu t'_i], so on the window
+    [[mu t'_i, C t'_i]] the jumping robot covers at most once, and the
+    remaining [k - 1] robots must produce a [(q-1)]-fold λ-covering of it;
+    rescaling the window to [[1, C/mu]] yields the [(k-1, q-1)] instance
+    the induction hypothesis applies to, with the gap
+    [eps' = 2 mu(q-1, k-1) - 2 mu(q, k)] ({!Search_bounds.Asymptotics.epsilon'}).
+
+    This module makes the case split executable: detect jumps, extract
+    the reduced sub-instance, and verify the reduced coverage with the
+    sweep. *)
+
+type jump = {
+  robot : int;
+  from_left : float;  (** [t'_i] *)
+  to_left : float;  (** [t'_{i+1}], with [to_left /. from_left >= c] *)
+}
+
+val jumps : Assigned.interval list -> c:float -> jump list
+(** All consecutive-interval jumps of ratio at least [c], in assignment
+    order.  Requires [c > 1.]. *)
+
+val observed_c : Assigned.interval list -> float
+(** The largest consecutive-left-end ratio over all robots — the smallest
+    [C] under which the run is pure Case 1 (1. when no robot has two
+    intervals). *)
+
+type case =
+  | Case1 of { c : float }
+      (** no jump: every robot's left ends stay within factor [c] *)
+  | Case2 of {
+      jump : jump;
+      window : float * float;  (** [[mu * from_left, c * from_left]] *)
+      rescale : float;  (** divide by this to map the window to [[1, _]] *)
+      reduced_k : int;
+      reduced_demand : int;
+    }
+
+val classify :
+  Assigned.interval list -> k:int -> demand:int -> mu:float -> c:float -> case
+(** The proof's case split for a completed assignment. *)
+
+val verify_reduction :
+  turns:Search_strategy.Turning.t array -> jump:jump -> mu:float
+  -> demand:int -> Search_numerics.Sweep.verdict
+(** Check Case 2's consequence directly: do the other [k - 1] robots
+    [(demand-1)]-fold λ-cover the window [[mu *. from_left, to_left]] in
+    the ORC setting?  (Uses the jump's [to_left] as the window end — the
+    concrete [C t'_i] of this run.)  For a strategy that genuinely
+    λ-covers, this must hold; its rescaled form is the [(k-1, q-1)]
+    instance of the induction. *)
+
+val epsilon' : q:int -> k:int -> float
+(** Re-export of {!Search_bounds.Asymptotics.epsilon'}: the induction
+    gap. *)

@@ -1,0 +1,42 @@
+module Sweep = Search_numerics.Sweep
+module Orc_round = Search_strategy.Orc_round
+module Mray = Search_strategy.Mray_exponential
+module Turning = Search_strategy.Turning
+module Params = Search_bounds.Params
+
+let mu_of_lambda lambda =
+  if lambda <= 1. then invalid_arg "Orc: need lambda > 1";
+  (lambda -. 1.) /. 2.
+
+let cover_intervals_within turns ~lambda ~within =
+  let mu = mu_of_lambda lambda in
+  Orc_round.cover_intervals_within turns ~mu ~within ()
+
+let group_intervals turns_array ~lambda ~within =
+  Array.to_list turns_array
+  |> List.concat_map (fun turns ->
+         cover_intervals_within turns ~lambda ~within |> List.map snd)
+
+let check turns_array ~demand ~lambda ~n =
+  if n < 1. then invalid_arg "Orc.check: need n >= 1";
+  let ivs = group_intervals turns_array ~lambda ~within:(1., n) in
+  Sweep.check ~demand ~within:(1., n) ivs
+
+let max_covered turns_array ~demand ~lambda ~n =
+  match check turns_array ~demand ~lambda ~n with
+  | Sweep.Covered -> n
+  | Sweep.Gap { from_; _ } -> Float.max 1. from_
+
+let of_mray strat ~robot =
+  let p = Mray.params strat in
+  let k = p.Params.k in
+  if robot < 0 || robot >= k then invalid_arg "Orc.of_mray: robot out of range";
+  (* pass index l starts at the strategy's l_min; depths are increasing in l *)
+  let itin = Mray.itinerary strat ~robot in
+  Turning.of_fun (fun i ->
+      let wp = Search_sim.Itinerary.waypoint itin ((2 * i) - 1) in
+      wp.Search_sim.World.dist)
+
+let of_mray_group strat =
+  let p = Mray.params strat in
+  Array.init p.Params.k (fun robot -> of_mray strat ~robot)

@@ -1,0 +1,148 @@
+module Lemma = Search_bounds.Lemma
+
+type step = {
+  index : int;
+  interval : Assigned.interval;
+  frontier : float;
+  log_potential : float option;
+  step_ratio : float option;
+}
+
+type trace = {
+  steps : step list;
+  delta : float;
+  log_ceiling : float;
+  observed_c : float option;
+  max_log_potential : float;
+  exceeded : bool;
+}
+
+let delta setting ~k ~demand ~mu =
+  let s =
+    match setting with
+    | Assigned.Line_symmetric -> demand
+    | Assigned.Orc_setting -> demand - k
+  in
+  if s < 1 then invalid_arg "Potential.delta: effective s must be >= 1";
+  Lemma.delta ~s ~k ~mu
+
+(* ln f(P) for the line setting: s * sum ln L_r - k * sum ln y.  Defined
+   once every robot has positive load. *)
+let line_log_potential ~s ~k loads multiset =
+  let all_positive = Array.for_all (fun l -> l > 0.) loads in
+  if not all_positive then None
+  else
+    let sum_ln_loads = Array.fold_left (fun acc l -> acc +. log l) 0. loads in
+    let sum_ln_y = List.fold_left (fun acc y -> acc +. log y) 0. multiset in
+    Some ((float_of_int s *. sum_ln_loads) -. (float_of_int k *. sum_ln_y))
+
+(* ln f(P) for the ORC setting; [next_left r] is b_r, None when robot r has
+   no further interval. *)
+let orc_log_potential ~q ~k loads multiset ~next_left =
+  let all_defined =
+    Array.for_all (fun l -> l > 0.) loads
+    && Array.for_all Option.is_some next_left
+  in
+  if not all_defined then None
+  else
+    let acc = ref 0. in
+    Array.iteri
+      (fun r l ->
+        let b = Option.get next_left.(r) in
+        acc :=
+          !acc
+          +. (float_of_int (q - k) *. log l)
+          +. (float_of_int k *. log b))
+      loads;
+    let sum_ln_y = List.fold_left (fun a y -> a +. log y) 0. multiset in
+    Some (!acc -. (float_of_int k *. sum_ln_y))
+
+let analyze setting ~k ~demand ~mu intervals =
+  if k < 1 then invalid_arg "Potential.analyze: need k >= 1";
+  if mu <= 0. then invalid_arg "Potential.analyze: need mu > 0";
+  let d = delta setting ~k ~demand ~mu in
+  let n = List.length intervals in
+  let arr = Array.of_list intervals in
+  (* Per-robot positions of intervals, for the ORC lookahead b_r. *)
+  let positions = Array.make k [] in
+  Array.iteri
+    (fun i (iv : Assigned.interval) ->
+      positions.(iv.robot) <- (i, iv.left) :: positions.(iv.robot))
+    arr;
+  Array.iteri (fun r ps -> positions.(r) <- List.rev ps) positions;
+  (* b_r after prefix of length len: first left of r at position >= len. *)
+  let next_left_after len r =
+    List.find_opt (fun (i, _) -> i >= len) positions.(r) |> Option.map snd
+  in
+  let loads = Array.make k 0. in
+  let observed_c = ref None in
+  let steps = ref [] in
+  let prev_log = ref None in
+  let max_log = ref neg_infinity in
+  let multiset = ref (List.init demand (fun _ -> 1.)) in
+  Array.iteri
+    (fun i (iv : Assigned.interval) ->
+      let frontier = match !multiset with a :: _ -> a | [] -> 1. in
+      loads.(iv.robot) <- loads.(iv.robot) +. iv.turn;
+      (multiset :=
+         match !multiset with
+         | _ :: rest ->
+             let rec ins x = function
+               | [] -> [ x ]
+               | y :: r -> if x <= y then x :: y :: r else y :: ins x r
+             in
+             ins iv.turn rest
+         | [] -> assert false);
+      let len = i + 1 in
+      let log_potential =
+        match setting with
+        | Assigned.Line_symmetric ->
+            line_log_potential ~s:demand ~k loads !multiset
+        | Assigned.Orc_setting ->
+            let next_left = Array.init k (next_left_after len) in
+            (* track the Case-1 constant: next left end / current frontier *)
+            let a_now = match !multiset with a :: _ -> a | [] -> 1. in
+            Array.iter
+              (function
+                | Some b when a_now > 0. ->
+                    let c = b /. a_now in
+                    observed_c :=
+                      Some
+                        (match !observed_c with
+                        | None -> c
+                        | Some c0 -> Float.max c0 c)
+                | Some _ | None -> ())
+              next_left;
+            orc_log_potential ~q:demand ~k loads !multiset ~next_left
+      in
+      let step_ratio =
+        match (!prev_log, log_potential) with
+        | Some p, Some c -> Some (exp (c -. p))
+        | _ -> None
+      in
+      (match log_potential with
+      | Some lp ->
+          prev_log := Some lp;
+          if lp > !max_log then max_log := lp
+      | None -> ());
+      steps :=
+        { index = len; interval = iv; frontier; log_potential; step_ratio }
+        :: !steps)
+    arr;
+  ignore n;
+  let log_ceiling =
+    match setting with
+    | Assigned.Line_symmetric -> float_of_int (k * demand) *. log mu
+    | Assigned.Orc_setting ->
+        let c = match !observed_c with Some c -> c | None -> 1. in
+        (float_of_int (demand * k) *. log c)
+        +. (float_of_int ((demand - k) * k) *. log mu)
+  in
+  {
+    steps = List.rev !steps;
+    delta = d;
+    log_ceiling;
+    observed_c = !observed_c;
+    max_log_potential = !max_log;
+    exceeded = !max_log > log_ceiling;
+  }

@@ -1,0 +1,52 @@
+(** The potential functions of the proofs (eqs. (7) and (15)), evaluated
+    along a prefix of assigned intervals.
+
+    Line setting (eq. 7, demand [s]):
+    [f(P) = (prod_r L_r^s) / (prod_{y in A(P)} y)^k], bounded by
+    [mu^(k s)] (eq. 8).
+
+    ORC setting (eq. 15, demand [q]):
+    [f(P) = (prod_r L_r^(q-k) b_r^k) / (prod_{y in A(P)} y)^k] where
+    [b_r] is the left end of robot [r]'s first interval {e not} in the
+    prefix; bounded by [C^(q k) mu^((q-k) k)] whenever consecutive left
+    ends of each robot stay within a factor [C] (Case 1 of the proof —
+    the trace reports the observed [C]).
+
+    Lemma 5 guarantees that every step multiplies [f] by at least
+    [delta = (k+s)^(k+s) / (s^s k^k mu^k)] (with [s = q - k] in the ORC
+    case); [delta > 1] exactly when [mu] is below the paper's bound, and
+    then boundedness caps the number of steps — the contradiction.  All
+    quantities are kept in log-domain. *)
+
+type step = {
+  index : int;  (** 1-based position in the assignment order *)
+  interval : Assigned.interval;
+  frontier : float;  (** [a(P)] before this interval was added *)
+  log_potential : float option;
+      (** [ln f(P)] after this step; [None] while undefined (some robot
+          still has zero load, or — ORC — no next interval) *)
+  step_ratio : float option;
+      (** [f(P+)/f(P)] across this step, when both sides are defined *)
+}
+
+type trace = {
+  steps : step list;
+  delta : float;  (** Lemma 5's guaranteed per-step growth factor *)
+  log_ceiling : float;
+      (** [ln] of the boundedness ceiling ((8), or Case 1 with the
+          observed [C]) *)
+  observed_c : float option;
+      (** ORC: max over robots and steps of (next left end / frontier) *)
+  max_log_potential : float;  (** [neg_infinity] if never defined *)
+  exceeded : bool;  (** did the potential provably exceed its ceiling *)
+}
+
+val analyze :
+  Assigned.setting -> k:int -> demand:int -> mu:float
+  -> Assigned.interval list -> trace
+(** Requires [k >= 1], [demand > k] for ORC and [demand >= 1] for the line
+    setting ([demand] plays the role of [s] there), [mu > 0.]. *)
+
+val delta : Assigned.setting -> k:int -> demand:int -> mu:float -> float
+(** Just the growth factor: Lemma 5 with [s = demand] (line) or
+    [s = demand - k] (ORC). *)

@@ -1,0 +1,44 @@
+module Interval1 = Search_numerics.Interval1
+module Sweep = Search_numerics.Sweep
+module Line_zigzag = Search_strategy.Line_zigzag
+module Turning = Search_strategy.Turning
+
+let mu_of_lambda lambda =
+  if lambda <= 1. then invalid_arg "Symmetric: need lambda > 1";
+  (lambda -. 1.) /. 2.
+
+let cover_intervals_within turns ~lambda ~within:(lo, hi)
+    ?(max_rounds = 1_000_000) () =
+  let mu = mu_of_lambda lambda in
+  let rec collect i acc =
+    if i > max_rounds then List.rev acc
+    else
+      let t'' = Line_zigzag.cover_threshold turns ~mu ~i in
+      (* thresholds are nondecreasing: once past the window, stop *)
+      if Turning.partial_sum turns i /. mu > hi then List.rev acc
+      else
+        let ti = Turning.get turns i in
+        if t'' <= ti && ti >= lo && t'' <= hi then
+          collect (i + 1) ((i, Interval1.closed t'' ti) :: acc)
+        else collect (i + 1) acc
+  in
+  collect 1 []
+
+let group_intervals turns_array ~lambda ~within =
+  Array.to_list turns_array
+  |> List.concat_map (fun turns ->
+         cover_intervals_within turns ~lambda ~within ()
+         |> List.map snd)
+
+let check turns_array ~demand ~lambda ~n =
+  if n < 1. then invalid_arg "Symmetric.check: need n >= 1";
+  let ivs = group_intervals turns_array ~lambda ~within:(1., n) in
+  Sweep.check ~demand ~within:(1., n) ivs
+
+let max_covered turns_array ~demand ~lambda ~n =
+  match check turns_array ~demand ~lambda ~n with
+  | Sweep.Covered -> n
+  | Sweep.Gap { from_; _ } ->
+      (* the gap's left end bounds the covered prefix: everything strictly
+         before it is covered *)
+      Float.max 1. from_

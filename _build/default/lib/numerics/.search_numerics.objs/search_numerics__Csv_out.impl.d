@@ -1,0 +1,1 @@
+lib/numerics/csv_out.ml: Buffer Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/numerics/csv_out.mli:

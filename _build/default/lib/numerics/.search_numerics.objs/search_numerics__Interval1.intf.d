@@ -1,0 +1,1 @@
+lib/numerics/interval1.mli: Format

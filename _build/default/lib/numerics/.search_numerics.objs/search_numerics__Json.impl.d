@@ -1,0 +1,1 @@
+lib/numerics/json.ml: Buffer Char Float List Printf String

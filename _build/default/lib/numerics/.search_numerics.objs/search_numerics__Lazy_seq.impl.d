@@ -1,0 +1,1 @@
+lib/numerics/lazy_seq.ml: Array Hashtbl Kahan List

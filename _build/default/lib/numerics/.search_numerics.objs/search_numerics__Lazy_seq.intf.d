@@ -1,0 +1,1 @@
+lib/numerics/lazy_seq.mli:

@@ -1,0 +1,1 @@
+lib/numerics/prng.ml: Int64

@@ -1,0 +1,1 @@
+lib/numerics/rational.ml: Float Format List Stdlib

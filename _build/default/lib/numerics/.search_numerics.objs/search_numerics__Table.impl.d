@@ -1,0 +1,1 @@
+lib/numerics/table.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/numerics/xfloat.ml: Float Format List Printf

@@ -1,0 +1,38 @@
+(** Minimal JSON: values, printing, parsing.
+
+    The certificate exporter ({!Search_covering.Certificate_io}, if you
+    are reading this from the covering layer) emits machine-readable
+    refutation certificates and re-checks them independently; that needs
+    a JSON codec, and the project is dependency-sealed, so a small
+    well-tested one is vendored here.  Numbers are floats (JSON has only
+    one number type); strings are UTF-8, with [\uXXXX] escapes decoded on
+    parse (basic multilingual plane). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise; [pretty] (default false) adds newlines and 2-space
+    indentation.  Floats that are integral print without a fractional
+    part; non-finite floats are not representable and raise
+    [Invalid_argument]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed).  The
+    error string includes the offending position. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Assoc]; [None] otherwise or when absent. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Number] fields that are integral. *)
+
+val to_list : t -> t list option
+val to_string_value : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,62 @@
+type 'a t = { get_raw : int -> 'a; cache : (int, 'a) Hashtbl.t }
+
+let of_fun f = { get_raw = f; cache = Hashtbl.create 64 }
+
+let get t i =
+  if i < 1 then invalid_arg "Lazy_seq.get: index must be >= 1"
+  else
+    match Hashtbl.find_opt t.cache i with
+    | Some v -> v
+    | None ->
+        let v = t.get_raw i in
+        Hashtbl.add t.cache i v;
+        v
+
+let of_list_then prefix tail =
+  let arr = Array.of_list prefix in
+  let n = Array.length arr in
+  of_fun (fun i -> if i <= n then arr.(i - 1) else tail i)
+
+let unfold ~init step =
+  (* Memoise the state walk: states.(i) is the state before producing
+     element i+1.  Grow on demand; [highest] is the largest computed
+     index, so filling up to a deep index is an iterative walk (constant
+     stack — trajectories can have millions of legs). *)
+  let states = ref [| init |] in
+  let values : (int, 'a) Hashtbl.t = Hashtbl.create 64 in
+  let highest = ref 0 in
+  let ensure i =
+    while !highest < i do
+      let j = !highest + 1 in
+      let s = !states.(j - 1) in
+      let v, s' = step s in
+      Hashtbl.add values j v;
+      if Array.length !states <= j then begin
+        let bigger = Array.make ((2 * j) + 1) s' in
+        Array.blit !states 0 bigger 0 (Array.length !states);
+        states := bigger
+      end;
+      !states.(j) <- s';
+      highest := j
+    done
+  in
+  of_fun (fun i ->
+      ensure i;
+      Hashtbl.find values i)
+
+let prefix t n = List.init n (fun i -> get t (i + 1))
+let map f t = of_fun (fun i -> f (get t i))
+
+let find_first p t ~limit =
+  let rec loop i =
+    if i > limit then None
+    else
+      let v = get t i in
+      if p v then Some (i, v) else loop (i + 1)
+  in
+  loop 1
+
+let partial_sums t =
+  unfold ~init:(1, Kahan.zero) (fun (i, acc) ->
+      let acc = Kahan.add acc (get t i) in
+      (Kahan.value acc, (i + 1, acc)))

@@ -1,0 +1,39 @@
+(** Memoised infinite sequences indexed from 1.
+
+    Robot strategies are infinite turning-point sequences [t_1, t_2, ...]
+    (Section 2 of the paper).  We represent them as total functions from a
+    1-based index, memoised so that repeated probing (simulation, covering
+    checks, prefix machinery) costs each element only once. *)
+
+type 'a t
+(** An infinite sequence [a_1, a_2, ...]. *)
+
+val of_fun : (int -> 'a) -> 'a t
+(** [of_fun f] is the sequence [f 1, f 2, ...], each element computed at most
+    once.  [f] must be pure.  Indices [< 1] are invalid. *)
+
+val of_list_then : 'a list -> (int -> 'a) -> 'a t
+(** [of_list_then prefix tail] uses the explicit prefix for the first
+    [List.length prefix] elements, then [tail i] for later indices ([i] still
+    counts from 1 overall). *)
+
+val unfold : init:'s -> ('s -> 'a * 's) -> 'a t
+(** [unfold ~init step] generates the sequence whose n-th element is the
+    first component of the n-th [step] application.  Memoised: the state walk
+    happens once. *)
+
+val get : 'a t -> int -> 'a
+(** [get s i] is the i-th element (1-based).
+    @raise Invalid_argument on [i < 1]. *)
+
+val prefix : 'a t -> int -> 'a list
+(** First [n] elements. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val find_first : ('a -> bool) -> 'a t -> limit:int -> (int * 'a) option
+(** Leftmost index [<= limit] whose element satisfies the predicate. *)
+
+val partial_sums : float t -> float t
+(** [partial_sums s] has i-th element [s_1 + ... + s_i], computed with
+    compensated summation (the loads of the paper's proofs). *)

@@ -1,0 +1,37 @@
+let inv_phi = (sqrt 5. -. 1.) /. 2. (* 1/φ ≈ 0.618 *)
+
+let golden ?(tol = 1e-10) ?(max_iter = 200) ~f lo hi =
+  assert (lo <= hi);
+  let rec loop a b c d fc fd iter =
+    let scale = Float.max 1. (Float.abs ((a +. b) /. 2.)) in
+    if b -. a <= tol *. scale || iter >= max_iter then
+      let x = 0.5 *. (a +. b) in
+      (x, f x)
+    else if fc < fd then
+      (* minimum in [a, d]: the old c becomes the new d *)
+      let c' = d -. (inv_phi *. (d -. a)) in
+      loop a d c' c (f c') fc (iter + 1)
+    else
+      (* minimum in [c, b]: the old d becomes the new c *)
+      let d' = c +. (inv_phi *. (b -. c)) in
+      loop c b d d' fd (f d') (iter + 1)
+  in
+  let c = hi -. (inv_phi *. (hi -. lo)) in
+  let d = lo +. (inv_phi *. (hi -. lo)) in
+  loop lo hi c d (f c) (f d) 0
+
+let grid_then_golden ?(samples = 64) ?(tol = 1e-10) ~f lo hi =
+  assert (samples >= 2);
+  let step = (hi -. lo) /. float_of_int (samples - 1) in
+  let best_i = ref 0 and best_v = ref infinity in
+  for i = 0 to samples - 1 do
+    let x = lo +. (float_of_int i *. step) in
+    let v = f x in
+    if v < !best_v then begin
+      best_v := v;
+      best_i := i
+    end
+  done;
+  let a = lo +. (float_of_int (max 0 (!best_i - 1)) *. step) in
+  let b = lo +. (float_of_int (min (samples - 1) (!best_i + 1)) *. step) in
+  golden ~tol ~f a b

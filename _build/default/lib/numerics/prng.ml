@@ -1,0 +1,41 @@
+type t = { state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let make ~seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  let state = Int64.add t.state golden_gamma in
+  (mix state, { state })
+
+let float t =
+  let v, t = next_int64 t in
+  (* take the top 53 bits *)
+  let bits = Int64.shift_right_logical v 11 in
+  (Int64.to_float bits *. (1. /. 9007199254740992.), t)
+
+let float_range ~lo ~hi t =
+  if lo >= hi then invalid_arg "Prng.float_range: need lo < hi";
+  let u, t = float t in
+  (lo +. (u *. (hi -. lo)), t)
+
+let bool t =
+  let v, t = next_int64 t in
+  (Int64.logand v 1L = 1L, t)
+
+let int ~bound t =
+  if bound <= 0 then invalid_arg "Prng.int: need bound > 0";
+  let u, t = float t in
+  let v = int_of_float (u *. float_of_int bound) in
+  (min v (bound - 1), t)
+
+let split t =
+  let a, t = next_int64 t in
+  let b, _ = next_int64 t in
+  ({ state = a }, { state = mix b })

@@ -1,0 +1,28 @@
+(** Deterministic splittable pseudo-random numbers (splitmix64).
+
+    The randomized-search modules need reproducible randomness: Monte
+    Carlo estimates in tests must not flake, and experiment tables must be
+    identical across runs.  This is the standard splitmix64 generator with
+    a pure (state-passing) interface — no global state. *)
+
+type t
+(** Immutable generator state. *)
+
+val make : seed:int -> t
+
+val next_int64 : t -> int64 * t
+(** One 64-bit output and the advanced state. *)
+
+val float : t -> float * t
+(** Uniform in [[0, 1)] (53-bit resolution). *)
+
+val float_range : lo:float -> hi:float -> t -> float * t
+(** Uniform in [[lo, hi)].  Requires [lo < hi]. *)
+
+val bool : t -> bool * t
+
+val int : bound:int -> t -> int * t
+(** Uniform in [[0, bound)].  Requires [bound > 0]. *)
+
+val split : t -> t * t
+(** Two independent generators derived from one state. *)

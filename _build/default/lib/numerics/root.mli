@@ -1,0 +1,32 @@
+(** Bracketing one-dimensional root finders.
+
+    Used to invert the paper's bound formulas — e.g. finding the λ at which
+    the lower-bound certificate stops refuting (experiment F5), or the ρ
+    achieving a prescribed competitive ratio. *)
+
+exception No_bracket of string
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds [x] in [[lo, hi]] with [f x = 0], assuming
+    [f lo] and [f hi] have opposite (weak) signs.  Stops when the bracket is
+    shorter than [tol] (default [1e-12] relative) or after [max_iter]
+    (default 200) halvings.
+
+    @raise No_bracket if [f lo *. f hi > 0.]. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** Brent's method: inverse quadratic interpolation with a bisection
+    safeguard.  Same contract as {!bisect}, typically an order of magnitude
+    fewer evaluations.
+
+    @raise No_bracket if [f lo *. f hi > 0.]. *)
+
+val expand_bracket :
+  ?grow:float -> ?max_iter:int -> f:(float -> float) -> float -> float
+  -> (float * float) option
+(** [expand_bracket ~f lo hi] grows the interval geometrically (factor
+    [grow], default 1.6) until it brackets a sign change of [f], or gives up
+    after [max_iter] (default 60) expansions. *)

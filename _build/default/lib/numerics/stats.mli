@@ -1,0 +1,33 @@
+(** Running statistics and sup-ratio tracking.
+
+    The competitive ratio is a supremum of [time(x) / |x|] over target
+    locations; the simulator feeds candidate targets one by one and this
+    module keeps the running supremum together with the witness argmax. *)
+
+type t
+(** Immutable running summary. *)
+
+val empty : t
+val add : t -> float -> t
+
+val count : t -> int
+val mean : t -> float
+(** @raise Invalid_argument on an empty summary. *)
+
+val min : t -> float
+val max : t -> float
+(** @raise Invalid_argument on an empty summary. *)
+
+val stddev : t -> float
+(** Population standard deviation (Welford).  0 for fewer than 2 samples. *)
+
+type 'a sup
+(** Running supremum of a keyed value, remembering the argmax key. *)
+
+val sup_empty : 'a sup
+val sup_add : 'a sup -> key:'a -> value:float -> 'a sup
+val sup_value : 'a sup -> float
+(** Neutral element: negative infinity when empty. *)
+
+val sup_witness : 'a sup -> 'a option
+(** The key achieving the supremum, if any sample was added. *)

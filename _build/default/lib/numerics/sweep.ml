@@ -1,0 +1,54 @@
+type verdict =
+  | Covered
+  | Gap of { from_ : float; upto : float; at : float; multiplicity : int }
+
+let multiplicity_at x ivs =
+  List.fold_left (fun n iv -> if Interval1.mem x iv then n + 1 else n) 0 ivs
+
+(* The profile works on interval interiors: collect all endpoints clipped to
+   the window, sort/dedup them, and evaluate the multiplicity at each piece's
+   midpoint.  Midpoint evaluation makes left-end kinds irrelevant (they only
+   matter on a measure-zero set), which is exactly the resolution at which
+   the covering proofs operate ("every point of R_{>1} is covered exactly s
+   times" after truncation). *)
+let coverage_profile ~within:(lo, hi) ivs =
+  if lo >= hi then []
+  else
+    let cuts =
+      List.concat_map
+        (fun (iv : Interval1.t) -> [ iv.Interval1.lo; iv.Interval1.hi ])
+        ivs
+      |> List.filter (fun x -> x > lo && x < hi)
+      |> List.sort_uniq Float.compare
+    in
+    let points = (lo :: cuts) @ [ hi ] in
+    let rec pieces = function
+      | a :: (b :: _ as rest) ->
+          let mid = 0.5 *. (a +. b) in
+          (a, b, multiplicity_at mid ivs) :: pieces rest
+      | [ _ ] | [] -> []
+    in
+    pieces points
+
+let min_multiplicity ~within ivs =
+  match coverage_profile ~within ivs with
+  | [] -> 0
+  | pieces -> List.fold_left (fun m (_, _, c) -> min m c) max_int pieces
+
+let check ~demand ~within ivs =
+  let pieces = coverage_profile ~within ivs in
+  let rec find = function
+    | [] -> Covered
+    | (a, b, c) :: rest ->
+        if c < demand then
+          Gap { from_ = a; upto = b; at = 0.5 *. (a +. b); multiplicity = c }
+        else find rest
+  in
+  match pieces with
+  | [] ->
+      (* degenerate window: single point *)
+      let lo, _ = within in
+      let c = multiplicity_at lo ivs in
+      if c >= demand then Covered
+      else Gap { from_ = lo; upto = lo; at = lo; multiplicity = c }
+  | pieces -> find pieces

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  header : (string * align) list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?title header = { title; header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let cell_f ?(decimals = 6) x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if Float.is_nan x then "nan"
+  else Printf.sprintf "%.*f" decimals x
+
+let cell_i = string_of_int
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.header in
+  let aligns = List.map snd t.header in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  account headers;
+  List.iter account rows;
+  let pad align width cell =
+    let fill = width - String.length cell in
+    if fill <= 0 then cell
+    else
+      match align with
+      | Left -> cell ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ cell
+  in
+  let render_row row =
+    let cells = List.mapi (fun i c -> pad (List.nth aligns i) widths.(i) c) row in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-|-" dashes ^ "-|"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in EXPERIMENTS.md prints one table (or series); this
+    keeps their formatting uniform: a header row, a rule, then data rows
+    with columns padded to the widest cell. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction; mutable. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table whose header cells (and alignments) are
+    [cols].  Rows must match the column count. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell; default 6 decimals, special-cases infinities. *)
+
+val cell_i : int -> string
+
+val render : t -> string
+(** The complete table as a string (with trailing newline). *)
+
+val print : t -> unit
+(** [render] to stdout. *)

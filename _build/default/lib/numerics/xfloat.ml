@@ -1,0 +1,30 @@
+let default_eps = 1e-9
+
+let approx_eq ?(eps = default_eps) a b =
+  if a = b then true
+  else
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    if scale < eps then Float.abs (a -. b) <= eps
+    else Float.abs (a -. b) <= eps *. scale
+
+let approx_le ?(eps = default_eps) a b = a <= b || approx_eq ~eps a b
+let approx_ge ?(eps = default_eps) a b = a >= b || approx_eq ~eps a b
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x
+
+let log_pow b e =
+  assert (b >= 0.);
+  if e = 0. then 0. (* continuous extension: b^0 = 1, including 0^0 *)
+  else e *. log b
+
+let pow b e = exp (log_pow b e)
+let sum xs = List.fold_left ( +. ) 0. xs
+
+let pp ppf x =
+  let s = Printf.sprintf "%g" x in
+  if float_of_string s = x then Format.pp_print_string ppf s
+  else Format.fprintf ppf "%.17g" x

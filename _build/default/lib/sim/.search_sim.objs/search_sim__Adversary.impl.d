@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Engine List Search_numerics Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/byzantine_sim.ml: Array Engine Fault Float Format List Printf Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/byzantine_sim.mli: Fault Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/competitive.ml: Adversary Array Engine List Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/competitive.mli: Adversary Trajectory

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Fault Float Fun List Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/event_log.ml: Array Engine Fault Float Format List Trajectory World

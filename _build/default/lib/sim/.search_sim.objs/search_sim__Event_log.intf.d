@@ -1,0 +1,1 @@
+lib/sim/event_log.mli: Fault Format Trajectory World

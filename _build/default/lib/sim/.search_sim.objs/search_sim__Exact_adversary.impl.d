@@ -1,0 +1,1 @@
+lib/sim/exact_adversary.ml: Array Float Fun List Trajectory World

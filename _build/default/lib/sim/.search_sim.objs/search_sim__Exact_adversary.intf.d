@@ -1,0 +1,1 @@
+lib/sim/exact_adversary.mli: Trajectory

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Array Float Format Int List String

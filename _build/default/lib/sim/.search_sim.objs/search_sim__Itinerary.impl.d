@@ -1,0 +1,1 @@
+lib/sim/itinerary.ml: Search_numerics World

@@ -1,0 +1,1 @@
+lib/sim/itinerary.mli: World

@@ -1,0 +1,1 @@
+lib/sim/stochastic.ml: Engine Float List World

@@ -1,0 +1,1 @@
+lib/sim/stochastic.mli: Trajectory World

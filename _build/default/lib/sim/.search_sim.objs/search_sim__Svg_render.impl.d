@@ -1,0 +1,1 @@
+lib/sim/svg_render.ml: Array Buffer Engine Fault Filename Float Fun List Printf String Sys Trajectory World

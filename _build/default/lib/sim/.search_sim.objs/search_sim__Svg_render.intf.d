@@ -1,0 +1,1 @@
+lib/sim/svg_render.mli: Fault Trajectory World

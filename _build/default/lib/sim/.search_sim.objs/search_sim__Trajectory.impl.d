@@ -1,0 +1,1 @@
+lib/sim/trajectory.ml: Float Itinerary List Printf Search_numerics World

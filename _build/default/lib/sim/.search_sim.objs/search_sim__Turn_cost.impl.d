@@ -1,0 +1,1 @@
+lib/sim/turn_cost.ml: Array Float List Search_numerics Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/turn_cost.mli: Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/work_schedule.ml: Adversary Array Float List Printf Search_numerics World

@@ -1,0 +1,1 @@
+lib/sim/work_schedule.mli: Trajectory World

@@ -1,0 +1,1 @@
+lib/sim/world.ml: Float Format Printf

@@ -1,0 +1,63 @@
+module Stats = Search_numerics.Stats
+
+type outcome = {
+  ratio : float;
+  witness : World.point;
+  detection_time : float;
+  candidates_scanned : int;
+}
+
+let default_eps = 1e-7
+let default_ratio_cap = 256.
+
+let candidate_targets trajectories ?(eps = default_eps) ~n ~time_horizon () =
+  if n < 1. then invalid_arg "Adversary.candidate_targets: need n >= 1";
+  let world = Trajectory.world trajectories.(0) in
+  let m = World.arity world in
+  let depths_per_ray = Array.make m [] in
+  Array.iter
+    (fun tr ->
+      List.iter
+        (fun (ray, d) -> depths_per_ray.(ray) <- d :: depths_per_ray.(ray))
+        (Trajectory.leg_endpoints tr ~horizon:time_horizon))
+    trajectories;
+  let points = ref [] in
+  let add ray dist =
+    if dist >= 1. && dist <= n then
+      points := World.point world ~ray ~dist :: !points
+  in
+  for ray = 0 to m - 1 do
+    add ray 1.;
+    add ray n;
+    List.iter
+      (fun d ->
+        add ray d;
+        add ray (d *. (1. -. eps));
+        add ray (d *. (1. +. eps)))
+      depths_per_ray.(ray)
+  done;
+  !points
+
+let worst_case trajectories ~f ?(eps = default_eps)
+    ?(ratio_cap = default_ratio_cap) ~n () =
+  if Array.length trajectories = 0 then
+    invalid_arg "Adversary.worst_case: no robots";
+  let time_horizon = ratio_cap *. n in
+  let candidates = candidate_targets trajectories ~eps ~n ~time_horizon () in
+  let sup =
+    List.fold_left
+      (fun acc target ->
+        let ratio =
+          Engine.detection_ratio trajectories ~f ~target ~time_horizon
+        in
+        Stats.sup_add acc ~key:target ~value:ratio)
+      Stats.sup_empty candidates
+  in
+  match Stats.sup_witness sup with
+  | None -> invalid_arg "Adversary.worst_case: empty candidate set"
+  | Some witness ->
+      let ratio = Stats.sup_value sup in
+      let detection_time =
+        if ratio = infinity then infinity else ratio *. witness.World.dist
+      in
+      { ratio; witness; detection_time; candidates_scanned = List.length candidates }

@@ -1,0 +1,41 @@
+(** The adversary: worst-case target placement.
+
+    For a fixed group of trajectories, the worst-case competitive ratio
+    over targets in [[1, N]] on each ray is a supremum of
+    [detection_time(x) / x].  Between consecutive turning points the
+    detection time is affine in [x] with slope [±1] (the last needed
+    visitor is on a single leg), so [ratio(x)] is monotone there and the
+    supremum is attained arbitrarily close to the breakpoints — the leg
+    endpoints of the robots.  The scan therefore evaluates each breakpoint
+    depth [d] together with [d (1 ± eps)], which brackets the one-sided
+    limits; this is exactly the adversary of the paper's proofs ("the
+    adversary will place the target there"), discretised to precision
+    [eps]. *)
+
+type outcome = {
+  ratio : float;  (** the supremum found ([infinity] if some target escapes) *)
+  witness : World.point;  (** a target attaining (approaching) it *)
+  detection_time : float;  (** detection time at the witness *)
+  candidates_scanned : int;
+}
+
+val default_eps : float
+(** Relative bracketing offset around breakpoints: [1e-7]. *)
+
+val default_ratio_cap : float
+(** Time-horizon multiplier: a target at distance [x] undetected by time
+    [ratio_cap *. x] is reported as escaping ([ratio = infinity]).
+    Default [256.] — far above every bound in the paper's range. *)
+
+val candidate_targets :
+  Trajectory.t array -> ?eps:float -> n:float -> time_horizon:float -> unit
+  -> World.point list
+(** All breakpoint-bracketing targets with distances in [[1, n]]:
+    the distances [1.], [n], and [d], [d (1-eps)], [d (1+eps)] for every
+    leg-endpoint depth [d] of every robot reached within [time_horizon]. *)
+
+val worst_case :
+  Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float -> n:float
+  -> unit -> outcome
+(** Supremum of the crash-fault detection ratio over {!candidate_targets}.
+    Requires a non-empty trajectory array and [n >= 1.]. *)

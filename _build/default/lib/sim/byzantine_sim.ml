@@ -1,0 +1,120 @@
+type claim = { robot : int; place : World.point; at_time : float }
+
+type event =
+  | Visit of { robot : int; time : float }
+  | Announcement of claim
+  | Confirmed of { place : World.point; time : float }
+
+type result = {
+  confirmed_at : float option;
+  false_confirmation : (World.point * float) option;
+  events : event list;
+}
+
+exception Invalid_claim of string
+
+let event_time = function
+  | Visit { time; _ } -> time
+  | Announcement { at_time; _ } -> at_time
+  | Confirmed { time; _ } -> time
+
+let validate_claim trajectories ~assignment (c : claim) =
+  let n = Array.length trajectories in
+  if c.robot < 0 || c.robot >= n then
+    raise (Invalid_claim (Printf.sprintf "robot %d out of range" c.robot));
+  if not assignment.Fault.faulty.(c.robot) then
+    raise (Invalid_claim (Printf.sprintf "robot %d is honest, cannot lie" c.robot));
+  let pos = Trajectory.position trajectories.(c.robot) c.at_time in
+  if not (World.equal_point pos c.place) then
+    raise
+      (Invalid_claim
+         (Format.asprintf "robot %d is at %a, not at %a, at time %g" c.robot
+            World.pp_point pos World.pp_point c.place c.at_time))
+
+let run trajectories ~assignment ~lies ~target ~horizon =
+  if assignment.Fault.kind <> Fault.Byzantine then
+    invalid_arg "Byzantine_sim.run: assignment must be Byzantine";
+  if Array.length assignment.Fault.faulty <> Array.length trajectories then
+    invalid_arg "Byzantine_sim.run: assignment arity mismatch";
+  List.iter (validate_claim trajectories ~assignment) lies;
+  (* Collect announcements: honest robots announce truthfully at every
+     visit of the target; Byzantine robots announce only their lies. *)
+  let truthful =
+    Array.to_list
+      (Array.mapi
+         (fun r tr ->
+           if assignment.Fault.faulty.(r) then []
+           else
+             Trajectory.visits tr ~target ~horizon
+             |> List.map (fun time ->
+                    { robot = r; place = target; at_time = time }))
+         trajectories)
+    |> List.concat
+  in
+  let lies = List.filter (fun c -> c.at_time <= horizon) lies in
+  let announcements =
+    List.sort
+      (fun a b -> Float.compare a.at_time b.at_time)
+      (truthful @ lies)
+  in
+  (* Confirmation rule: a place is confirmed once f+1 = (#faulty)+1 distinct
+     robots have announced it.  Track per-place announcer sets. *)
+  let f = Fault.count_faulty assignment in
+  let by_place : (World.point * int list ref) list ref = ref [] in
+  let announcers place =
+    match
+      List.find_opt (fun (p, _) -> World.equal_point p place) !by_place
+    with
+    | Some (_, set) -> set
+    | None ->
+        let set = ref [] in
+        by_place := (place, set) :: !by_place;
+        set
+  in
+  let visits =
+    Array.to_list
+      (Array.mapi
+         (fun r tr ->
+           Trajectory.visits tr ~target ~horizon
+           |> List.map (fun time -> Visit { robot = r; time }))
+         trajectories)
+    |> List.concat
+  in
+  let confirmed_at = ref None in
+  let false_confirmation = ref None in
+  let confirmation_events = ref [] in
+  List.iter
+    (fun c ->
+      let set = announcers c.place in
+      if not (List.mem c.robot !set) then begin
+        set := c.robot :: !set;
+        if List.length !set = f + 1 then begin
+          confirmation_events :=
+            Confirmed { place = c.place; time = c.at_time }
+            :: !confirmation_events;
+          if World.equal_point c.place target then begin
+            if !confirmed_at = None then confirmed_at := Some c.at_time
+          end
+          else if !false_confirmation = None then
+            false_confirmation := Some (c.place, c.at_time)
+        end
+      end)
+    announcements;
+  let events =
+    visits
+    @ List.map (fun c -> Announcement c) announcements
+    @ !confirmation_events
+    |> List.sort (fun a b -> Float.compare (event_time a) (event_time b))
+  in
+  {
+    confirmed_at = !confirmed_at;
+    false_confirmation = !false_confirmation;
+    events;
+  }
+
+let worst_case_detection trajectories ~f ~target ~horizon =
+  (* Lies cannot delay the true confirmation (announcement sets are
+     per-place and independent), so the adversary's best move is silence:
+     make the f earliest visitors faulty.  Confirmation then waits for
+     f + 1 honest visitors — the (2f+1)-st distinct visitor overall. *)
+  Engine.detection_time_worst trajectories ~f:(2 * f) ~target ~horizon

@@ -1,0 +1,68 @@
+(** Announcement-level simulation of Byzantine-type faults.
+
+    In the Byzantine model of Czyzowitz et al. (ISAAC'16) a faulty robot
+    "may stay silent even when it detects or visits the target, or may
+    claim that it has found the target when, in fact, it has not".  The
+    searchers here use the conservative confirmation rule that is provably
+    safe for any fault pattern:
+
+    {e a location is confirmed as the target once f + 1 distinct robots
+    have announced the target there.}
+
+    Under this rule no false claim can ever be confirmed (at most [f]
+    robots lie, and honest visitors of a non-target stay silent).  The
+    rule is strictly {e more} conservative than the crash model: faulty
+    robots never announce the true target either, so confirmation needs
+    [f + 1] distinct {e honest} visitors, and the worst case over fault
+    assignments is the [(2f+1)]-st distinct robot's visit (the adversary
+    silences the [f] earliest) — compared to the [(f+1)]-st in the crash
+    model.  This concretely witnesses the direction of the paper's
+    transfer [B(k, f) >= A(k, f)]: Byzantine faults can only make the
+    problem harder.  The richer inference rules of ISAAC'16 (cross-
+    checking claims, exploiting silences) narrow the gap from the upper
+    side; they are beyond this conservative baseline.
+
+    The simulator takes explicit lie schedules so that tests can check
+    both safety (no false confirmation) and liveness (true target
+    confirmed at the (f+1)-st honest visit). *)
+
+type claim = { robot : int; place : World.point; at_time : float }
+(** Robot [robot] announces "target at [place]" at [at_time].  The
+    announcement is only physically possible if the robot is at [place]
+    at that time; {!run} validates this. *)
+
+type event =
+  | Visit of { robot : int; time : float }
+      (** a robot reaches the true target *)
+  | Announcement of claim
+  | Confirmed of { place : World.point; time : float }
+
+type result = {
+  confirmed_at : float option;
+      (** time the true target is confirmed, if within the horizon *)
+  false_confirmation : (World.point * float) option;
+      (** a non-target location that got confirmed — must be [None] for
+          any valid run; surfaced so tests can assert safety *)
+  events : event list;  (** chronological *)
+}
+
+exception Invalid_claim of string
+(** Raised when a lie schedule announces from a place the robot does not
+    occupy at that time, or an honest robot is scheduled to lie. *)
+
+val run :
+  Trajectory.t array -> assignment:Fault.assignment -> lies:claim list
+  -> target:World.point -> horizon:float -> result
+(** Simulate: honest robots announce the target truthfully on every visit;
+    faulty (Byzantine) robots are silent at the target and additionally
+    issue the [lies].  Requires [assignment.kind = Byzantine]. *)
+
+val worst_case_detection :
+  Trajectory.t array -> f:int -> target:World.point -> horizon:float
+  -> float option
+(** Worst case over assignments and lie schedules under the confirmation
+    rule: lies never help the adversary (announcement sets are
+    per-place), so the worst case is making the [f] earliest visitors
+    faulty and silent — the [(2f+1)]-st distinct robot's first visit,
+    i.e. [Engine.detection_time_worst] with [2 f] tolerated faults.
+    [None] when fewer than [2f + 1] robots visit within the horizon. *)

@@ -1,0 +1,35 @@
+let first_visits trajectories ~target ~horizon =
+  Array.map (fun tr -> Trajectory.first_visit tr ~target ~horizon) trajectories
+
+let detection_time_fixed trajectories ~assignment ~target ~horizon =
+  let { Fault.faulty; _ } = assignment in
+  if Array.length faulty <> Array.length trajectories then
+    invalid_arg "Engine.detection_time_fixed: assignment arity mismatch";
+  let best = ref None in
+  Array.iteri
+    (fun r tr ->
+      if not faulty.(r) then
+        match Trajectory.first_visit tr ~target ~horizon with
+        | Some t ->
+            best :=
+              Some (match !best with None -> t | Some b -> Float.min b t)
+        | None -> ())
+    trajectories;
+  !best
+
+let detection_time_worst trajectories ~f ~target ~horizon =
+  if f < 0 then invalid_arg "Engine.detection_time_worst: f < 0";
+  let times =
+    first_visits trajectories ~target ~horizon
+    |> Array.to_list
+    |> List.filter_map Fun.id
+    |> List.sort Float.compare
+  in
+  List.nth_opt times f
+
+let detection_ratio trajectories ~f ~target ~time_horizon =
+  if target.World.dist < 1. then
+    invalid_arg "Engine.detection_ratio: need |target| >= 1";
+  match detection_time_worst trajectories ~f ~target ~horizon:time_horizon with
+  | None -> infinity
+  | Some t -> t /. target.World.dist

@@ -1,0 +1,36 @@
+(** Detection-time computation.
+
+    Under crash faults, the searchers can be certain of the target's
+    location exactly when a {e non-faulty} robot has visited it; since any
+    [f] robots may be faulty and the adversary assigns faults after the
+    fact, certainty against the worst case requires [f + 1] distinct robots
+    to have visited the target (Section 2: "the point x has to be visited
+    by at least f + 1 robots in time").  This module computes both views:
+    detection under a {e fixed} assignment, and the worst case over all
+    assignments, and the property tests check they agree. *)
+
+val first_visits :
+  Trajectory.t array -> target:World.point -> horizon:float -> float option array
+(** Per-robot earliest visit time within the horizon. *)
+
+val detection_time_fixed :
+  Trajectory.t array -> assignment:Fault.assignment -> target:World.point
+  -> horizon:float -> float option
+(** Earliest visit by a robot that is honest under [assignment] (for crash
+    kind; for Byzantine kind this is the same quantity — see
+    {!Byzantine_sim} for announcement-level modelling). *)
+
+val detection_time_worst :
+  Trajectory.t array -> f:int -> target:World.point -> horizon:float
+  -> float option
+(** Worst case over assignments with [f] faults: the time of the
+    [(f+1)]-st distinct robot visit, or [None] if fewer than [f + 1] robots
+    visit within the horizon.  Equals
+    [detection_time_fixed ~assignment:(worst assignment)]. *)
+
+val detection_ratio :
+  Trajectory.t array -> f:int -> target:World.point -> time_horizon:float
+  -> float
+(** [detection_time_worst /. dist]; [infinity] when undetected within
+    [time_horizon].  Requires [target.dist >= 1.] (the problem's
+    normalisation: targets are at distance at least 1). *)

@@ -1,0 +1,56 @@
+type entry = { time : float; text : string }
+
+let narrate_crash ?(min_turn_depth = 0.) trajectories ~assignment ~target
+    ~horizon =
+  let detection =
+    Engine.detection_time_fixed trajectories ~assignment ~target ~horizon
+  in
+  let cutoff = match detection with Some t -> t | None -> horizon in
+  let entries = ref [] in
+  let push time text = entries := { time; text } :: !entries in
+  Array.iteri
+    (fun r tr ->
+      let name = Trajectory.label tr in
+      let faulty = assignment.Fault.faulty.(r) in
+      (* turns *)
+      let rec turns i =
+        let l = Trajectory.leg tr i in
+        if l.Trajectory.t_start <= cutoff then begin
+          let t_end =
+            l.Trajectory.t_start
+            +. Float.abs (l.Trajectory.d_to -. l.Trajectory.d_from)
+          in
+          if t_end <= cutoff && l.Trajectory.d_to >= min_turn_depth
+             && l.Trajectory.d_to > 0. then
+            push t_end
+              (Format.asprintf "%s turns at ray %d @@ %g" name l.Trajectory.ray
+                 l.Trajectory.d_to);
+          turns (i + 1)
+        end
+      in
+      turns 1;
+      (* visits *)
+      List.iter
+        (fun t ->
+          if t <= cutoff then
+            push t
+              (Format.asprintf "%s passes the target at %a%s" name
+                 World.pp_point target
+                 (if faulty then " (faulty: stays silent)" else " and reports it")))
+        (Trajectory.visits tr ~target ~horizon:cutoff))
+    trajectories;
+  (match detection with
+  | Some t ->
+      push t
+        (Format.asprintf "target at %a confirmed (time %.4g, ratio %.4g)"
+           World.pp_point target t (t /. target.World.dist))
+  | None ->
+      push horizon
+        (Format.asprintf "horizon %g reached, target at %a not yet confirmed"
+           horizon World.pp_point target));
+  List.stable_sort (fun a b -> Float.compare a.time b.time) (List.rev !entries)
+
+let pp_entry ppf e = Format.fprintf ppf "[t=%8.3f] %s" e.time e.text
+
+let print entries =
+  List.iter (fun e -> Format.printf "%a@." pp_entry e) entries

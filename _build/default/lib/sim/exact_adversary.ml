@@ -1,0 +1,155 @@
+type piece = { x_lo : float; x_hi : float; a : float; b : float }
+
+let eval p x = p.a +. (p.b *. x)
+
+(* First-visit pieces on one ray: walk legs in time order; every depth is
+   first reached on an outbound leg, at time t_start + (x - d_from). *)
+let first_visit_pieces tr ~ray ~x_max ~time_horizon =
+  let rec walk i covered acc =
+    let l = Trajectory.leg tr i in
+    if l.Trajectory.t_start > time_horizon then List.rev acc
+    else
+      let covered, acc =
+        if
+          l.Trajectory.ray = ray
+          && l.Trajectory.d_to > l.Trajectory.d_from (* outbound *)
+          && l.Trajectory.d_to > covered
+        then begin
+          let lo = Float.max covered l.Trajectory.d_from in
+          let reach_time_limited =
+            (* clip the piece so the visit happens within the horizon *)
+            Float.min l.Trajectory.d_to
+              (l.Trajectory.d_from +. (time_horizon -. l.Trajectory.t_start))
+          in
+          let hi = Float.min x_max reach_time_limited in
+          if hi > lo then
+            ( Float.max covered reach_time_limited,
+              {
+                x_lo = lo;
+                x_hi = hi;
+                a = l.Trajectory.t_start -. l.Trajectory.d_from;
+                b = 1.;
+              }
+              :: acc )
+          else (Float.max covered reach_time_limited, acc)
+        end
+        else (covered, acc)
+      in
+      if covered >= x_max then List.rev acc else walk (i + 1) covered acc
+  in
+  walk 1 0. []
+
+(* Pointwise order statistic of several piecewise-affine functions.  We
+   refine the x-axis by all piece boundaries and all pairwise crossings,
+   then on each elementary interval select the rank-th smallest affine
+   function (functions are affine on the whole interval there, and their
+   order is constant between crossings). *)
+let order_statistic fns ~rank ~x_max =
+  let boundaries =
+    Array.to_list fns
+    |> List.concat_map (fun ps -> List.concat_map (fun p -> [ p.x_lo; p.x_hi ]) ps)
+    |> List.filter (fun x -> x > 0. && x < x_max)
+  in
+  (* the affine function of robot r active at point x, if any *)
+  let active_at r x =
+    List.find_opt (fun p -> x > p.x_lo && x <= p.x_hi) fns.(r)
+  in
+  (* pairwise crossings inside the current refinement *)
+  let crossings =
+    let cross = ref [] in
+    let n = Array.length fns in
+    for r1 = 0 to n - 1 do
+      for r2 = r1 + 1 to n - 1 do
+        List.iter
+          (fun p1 ->
+            List.iter
+              (fun p2 ->
+                if p1.b <> p2.b then begin
+                  let x = (p2.a -. p1.a) /. (p1.b -. p2.b) in
+                  if
+                    x > Float.max p1.x_lo p2.x_lo
+                    && x <= Float.min p1.x_hi p2.x_hi
+                    && x > 0. && x < x_max
+                  then cross := x :: !cross
+                end)
+              fns.(r2))
+          fns.(r1)
+      done
+    done;
+    !cross
+  in
+  let cuts =
+    (boundaries @ crossings @ [ x_max ])
+    |> List.filter (fun x -> x > 0.)
+    |> List.sort_uniq Float.compare
+  in
+  let rec pieces last acc = function
+    | [] -> List.rev acc
+    | cut :: rest ->
+        let mid = 0.5 *. (last +. cut) in
+        let present =
+          Array.to_list fns
+          |> List.mapi (fun r _ -> active_at r mid)
+          |> List.filter_map Fun.id
+          |> List.sort (fun p1 p2 -> Float.compare (eval p1 mid) (eval p2 mid))
+        in
+        let acc =
+          match List.nth_opt present rank with
+          | Some p -> { x_lo = last; x_hi = cut; a = p.a; b = p.b } :: acc
+          | None -> acc
+        in
+        pieces cut acc rest
+  in
+  pieces 0. [] cuts
+
+type outcome = {
+  sup : float;
+  witness_dist : float;
+  witness_ray : int;
+  attained : bool;
+}
+
+let worst_case trajectories ~f ?(ratio_cap = 1024.) ~n () =
+  if Array.length trajectories = 0 then
+    invalid_arg "Exact_adversary.worst_case: no robots";
+  if n < 1. then invalid_arg "Exact_adversary.worst_case: need n >= 1";
+  let world = Trajectory.world trajectories.(0) in
+  let time_horizon = ratio_cap *. n in
+  let best = ref { sup = neg_infinity; witness_dist = 1.; witness_ray = 0; attained = true } in
+  let consider ~ray ~dist ~value ~attained =
+    if value > !best.sup then
+      best := { sup = value; witness_dist = dist; witness_ray = ray; attained }
+  in
+  for ray = 0 to World.arity world - 1 do
+    let fns =
+      Array.map
+        (fun tr -> first_visit_pieces tr ~ray ~x_max:n ~time_horizon)
+        trajectories
+    in
+    let detect = order_statistic fns ~rank:f ~x_max:n in
+    (* undetectable stretches within [1, n]: any gap in the pieces *)
+    let rec scan last = function
+      | [] -> if last < n then consider ~ray ~dist:n ~value:infinity ~attained:false
+      | p :: rest ->
+          if p.x_lo > last && p.x_lo >= 1. && last < n then
+            consider ~ray ~dist:(Float.max 1. last) ~value:infinity
+              ~attained:false
+          else begin
+            (* ratio (a + b x)/x on the piece clipped to [1, n]: monotone,
+               extremes at the (one-sided) endpoints *)
+            let lo = Float.max 1. p.x_lo and hi = Float.min n p.x_hi in
+            if lo <= hi then begin
+              (* right endpoint: attained *)
+              consider ~ray ~dist:hi ~value:(eval p hi /. hi) ~attained:true;
+              (* left endpoint: attained iff it is 1 (the domain's closed
+                 edge) or coincides with the previous piece's right end
+                 value; otherwise a one-sided limit *)
+              let v_lo = eval p lo /. lo in
+              consider ~ray ~dist:lo ~value:v_lo ~attained:(lo = 1.)
+            end
+          end;
+          scan (Float.max last p.x_hi) rest
+    in
+    scan 0. detect
+  done;
+  !best

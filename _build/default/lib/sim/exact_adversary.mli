@@ -1,0 +1,54 @@
+(** Exact worst-case analysis by piecewise-affine decomposition.
+
+    {!Adversary} brackets breakpoints with a relative [eps]; this module
+    removes the approximation.  For a fixed ray, a robot's first-visit
+    time of depth [x] is piecewise affine with slope 1 (every new depth
+    is first reached on an outbound leg), with breakpoints at the leg
+    endpoints.  The crash detection time is the [(f+1)]-st pointwise
+    order statistic of the robots' first-visit functions — again
+    piecewise affine, with extra breakpoints where two robots' functions
+    cross.  On each affine piece [T(x) = a + b x] the ratio [T(x)/x] is
+    monotone, so the supremum over a piece is attained (or approached) at
+    an endpoint and can be evaluated {e exactly}.
+
+    The benches use this to report suprema free of discretisation — e.g.
+    the doubling cow's exact supremum over [(1, N]] is
+    [9 - 2^(1 - 2 j_max)] for the largest odd-turn index fitting in [N],
+    which the tests assert to the last bit. *)
+
+type piece = {
+  x_lo : float;  (** left end, exclusive *)
+  x_hi : float;  (** right end, inclusive *)
+  a : float;
+  b : float;  (** value at [x] in the piece: [a +. b *. x] *)
+}
+
+val first_visit_pieces :
+  Trajectory.t -> ray:int -> x_max:float -> time_horizon:float -> piece list
+(** The robot's first-visit time on [ray] as consecutive affine pieces
+    over [(0, reach]], where [reach <= x_max] is the largest depth the
+    robot attains on the ray within the horizon.  Pieces are increasing
+    in [x] and have slope 1. *)
+
+val order_statistic :
+  piece list array -> rank:int -> x_max:float -> piece list
+(** Pointwise [rank]-th smallest (0-based) of the given piecewise-affine
+    functions over [(0, x_max]]; where fewer than [rank + 1] functions
+    are defined the statistic is undefined and the region is omitted.
+    Crossing points become piece boundaries. *)
+
+type outcome = {
+  sup : float;  (** exact supremum of detection/distance over [[1, n]] *)
+  witness_dist : float;  (** where it is attained or approached *)
+  witness_ray : int;
+  attained : bool;
+      (** false when the supremum is a one-sided limit at an excluded
+          left endpoint (the adversary places the target just past it) *)
+}
+
+val worst_case :
+  Trajectory.t array -> f:int -> ?ratio_cap:float -> n:float -> unit -> outcome
+(** Exact supremum of the crash detection ratio over targets with
+    distances in [[1, n]] on every ray; [sup = infinity] when some
+    stretch cannot be detected within [ratio_cap *. n] time (default
+    cap 1024). *)

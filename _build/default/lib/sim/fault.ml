@@ -1,0 +1,35 @@
+type kind = Crash | Byzantine
+type assignment = { kind : kind; faulty : bool array }
+
+let make kind ~faulty = { kind; faulty }
+let none kind ~robots = { kind; faulty = Array.make robots false }
+
+let count_faulty a =
+  Array.fold_left (fun n b -> if b then n + 1 else n) 0 a.faulty
+
+let worst_for_visits kind ~first_visits ~f =
+  let n = Array.length first_visits in
+  if f > n then invalid_arg "Fault.worst_for_visits: f > number of robots";
+  let order =
+    List.init n (fun r -> r)
+    |> List.sort (fun r1 r2 ->
+           match (first_visits.(r1), first_visits.(r2)) with
+           | Some t1, Some t2 ->
+               let c = Float.compare t1 t2 in
+               if c <> 0 then c else Int.compare r1 r2
+           | Some _, None -> -1
+           | None, Some _ -> 1
+           | None, None -> Int.compare r1 r2)
+  in
+  let faulty = Array.make n false in
+  List.iteri (fun i r -> if i < f then faulty.(r) <- true) order;
+  { kind; faulty }
+
+let pp ppf a =
+  let kind = match a.kind with Crash -> "crash" | Byzantine -> "byzantine" in
+  let marks =
+    Array.to_list a.faulty
+    |> List.map (fun b -> if b then "x" else ".")
+    |> String.concat ""
+  in
+  Format.fprintf ppf "%s[%s]" kind marks

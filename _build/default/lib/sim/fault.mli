@@ -1,0 +1,30 @@
+(** Fault models and fault assignments.
+
+    The paper's primary model is {e crash type} ([14]): a faulty robot
+    moves exactly as instructed but never reports the target.  The
+    {e Byzantine type} ([13]) additionally allows false reports.  An
+    {e assignment} fixes which robots are faulty; the adversary of the
+    lower-bound proofs picks the assignment after seeing the strategy
+    ("choose the first f robots arriving at x to be faulty"). *)
+
+type kind =
+  | Crash  (** silent at the target; otherwise follows the strategy *)
+  | Byzantine  (** may stay silent and may falsely claim a target *)
+
+type assignment = { kind : kind; faulty : bool array }
+(** [faulty.(r)] tells whether robot [r] (0-based) is faulty. *)
+
+val make : kind -> faulty:bool array -> assignment
+
+val none : kind -> robots:int -> assignment
+(** No faulty robots. *)
+
+val count_faulty : assignment -> int
+
+val worst_for_visits : kind -> first_visits:float option array -> f:int -> assignment
+(** The proof's adversarial choice: make faulty the [f] robots with the
+    earliest first visits to the target ([None] = never visits, which the
+    adversary never wastes a fault on unless all visitors are already
+    faulty).  Ties broken by robot index. *)
+
+val pp : Format.formatter -> assignment -> unit

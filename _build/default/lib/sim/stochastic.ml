@@ -1,0 +1,78 @@
+type distribution = { support : (World.point * float) list }
+
+let make support =
+  if support = [] then invalid_arg "Stochastic.make: empty support";
+  List.iter
+    (fun (_, w) -> if w <= 0. then invalid_arg "Stochastic.make: weight <= 0")
+    support;
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0. support in
+  if Float.abs (total -. 1.) > 1e-9 then
+    invalid_arg "Stochastic.make: weights must sum to 1";
+  { support = List.map (fun (p, w) -> (p, w /. total)) support }
+
+let uniform_line ~cells ~lo ~hi =
+  if not (1. <= lo && lo < hi) then
+    invalid_arg "Stochastic.uniform_line: need 1 <= lo < hi";
+  if cells < 1 then invalid_arg "Stochastic.uniform_line: need cells >= 1";
+  let w = 1. /. float_of_int (2 * cells) in
+  let step = (hi -. lo) /. float_of_int cells in
+  let side ray =
+    List.init cells (fun i ->
+        let dist = lo +. ((float_of_int i +. 0.5) *. step) in
+        (World.point World.line ~ray ~dist, w))
+  in
+  make (side 0 @ side 1)
+
+let geometric_line ~ratio ~terms ~lo =
+  if ratio <= 1. then invalid_arg "Stochastic.geometric_line: need ratio > 1";
+  if terms < 1 then invalid_arg "Stochastic.geometric_line: need terms >= 1";
+  if lo < 1. then invalid_arg "Stochastic.geometric_line: need lo >= 1";
+  let weights = List.init terms (fun j -> ratio ** float_of_int (-j)) in
+  let total = 2. *. List.fold_left ( +. ) 0. weights in
+  let side ray =
+    List.mapi
+      (fun j w ->
+        (World.point World.line ~ray ~dist:(lo *. (ratio ** float_of_int j)),
+         w /. total))
+      weights
+  in
+  make (side 0 @ side 1)
+
+let point_mass p = make [ (p, 1.) ]
+
+let expected_distance d =
+  List.fold_left (fun a (p, w) -> a +. (w *. p.World.dist)) 0. d.support
+
+let expected_detection_time trajectories ~f d ~horizon =
+  List.fold_left
+    (fun acc (target, w) ->
+      match Engine.detection_time_worst trajectories ~f ~target ~horizon with
+      | Some t -> acc +. (w *. t)
+      | None -> infinity)
+    0. d.support
+
+let beck_quotient trajectories ~f d ~horizon =
+  expected_detection_time trajectories ~f d ~horizon /. expected_distance d
+
+(* One robot, no faults: sweep one side out to its farthest support
+   point, return, sweep the other.  Exact expectation over the support. *)
+let best_sided_sweep d =
+  let farthest ray =
+    List.fold_left
+      (fun acc (p, _) -> if p.World.ray = ray then Float.max acc p.World.dist else acc)
+      0. d.support
+  in
+  let expected_first ray =
+    (* targets on [ray] reached at their distance; targets on the other
+       side reached after the full out-and-back plus their distance *)
+    let far = farthest ray in
+    List.fold_left
+      (fun acc (p, w) ->
+        let t =
+          if p.World.ray = ray then p.World.dist
+          else (2. *. far) +. p.World.dist
+        in
+        acc +. (w *. t))
+      0. d.support
+  in
+  Float.min (expected_first 0) (expected_first 1) /. expected_distance d

@@ -1,0 +1,54 @@
+(** Stochastic targets: the Bellman–Beck origin of the problem.
+
+    The introduction quotes Bellman's 1963 formulation: the searcher
+    "knows in advance the probability that the second man is at any given
+    point of the road", and minimises the {e expected} distance
+    travelled.  Beck and Newman [8] proved that without knowledge of the
+    distribution one cannot guarantee expected travel below 9 times the
+    expected distance — the same constant the worst-case theory yields at
+    [rho = 2].
+
+    This module evaluates strategies against finite target distributions:
+    expected detection time, the Beck quotient [E T / E |d|], and
+    per-distribution comparisons (a distribution-aware strategy can beat
+    9 on a {e known} distribution, while the doubling strategy stays
+    within 9 + o(1) on every distribution supported on [[1, N]]). *)
+
+type distribution = private {
+  support : (World.point * float) list;  (** probabilities sum to 1 *)
+}
+
+val make : (World.point * float) list -> distribution
+(** Validates: nonempty, weights positive, summing to 1 within 1e-9
+    (then renormalised exactly). *)
+
+val uniform_line : cells:int -> lo:float -> hi:float -> distribution
+(** The symmetric uniform distribution on [[-hi,-lo] ∪ [lo,hi]],
+    discretised to [cells] equal-probability midpoints per side.
+    Requires [1 <= lo < hi], [cells >= 1]. *)
+
+val geometric_line : ratio:float -> terms:int -> lo:float -> distribution
+(** Symmetric heavy-tail surrogate: distances [lo * ratio^j],
+    [j = 0 .. terms-1], with probabilities proportional to [ratio^-j],
+    split evenly between the two sides. *)
+
+val point_mass : World.point -> distribution
+
+val expected_distance : distribution -> float
+(** [E |d|]. *)
+
+val expected_detection_time :
+  Trajectory.t array -> f:int -> distribution -> horizon:float -> float
+(** [E T] under worst-case fault assignment per target; [infinity] when
+    some support point is undetectable within the horizon. *)
+
+val beck_quotient :
+  Trajectory.t array -> f:int -> distribution -> horizon:float -> float
+(** [E T /. E |d|] — Beck's figure of merit. *)
+
+val best_sided_sweep : distribution -> float
+(** A distribution-aware lower benchmark for one fault-free robot: the
+    better of "sweep right first, then left" and the reverse, evaluated
+    exactly on the support.  On concentrated distributions this beats the
+    doubling strategy's quotient, illustrating what knowing the
+    distribution buys (Bellman's original question). *)

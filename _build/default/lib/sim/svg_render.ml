@@ -1,0 +1,171 @@
+type style = { width : int; height : int; margin : int }
+
+let default_style = { width = 640; height = 480; margin = 32 }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#17becf"; "#7f7f7f" |]
+
+(* Sample a trajectory's signed line coordinate at its leg boundaries up
+   to [time_max]: the polyline through those points is exact (motion is
+   affine between boundaries). *)
+let polyline_points tr ~time_max =
+  let pts = ref [ (0., 0.) ] in
+  let rec walk i =
+    let l = Trajectory.leg tr i in
+    let t_end =
+      l.Trajectory.t_start +. Float.abs (l.Trajectory.d_to -. l.Trajectory.d_from)
+    in
+    let sign = if l.Trajectory.ray = 0 then 1. else -1. in
+    if l.Trajectory.t_start > time_max then ()
+    else begin
+      let t_clip = Float.min t_end time_max in
+      let d_at_clip =
+        if t_end <= time_max then l.Trajectory.d_to
+        else
+          let progressed = t_clip -. l.Trajectory.t_start in
+          let dir = if l.Trajectory.d_to >= l.Trajectory.d_from then 1. else -1. in
+          l.Trajectory.d_from +. (dir *. progressed)
+      in
+      pts := (t_clip, sign *. d_at_clip) :: !pts;
+      if t_end < time_max then walk (i + 1)
+    end
+  in
+  walk 1;
+  List.rev !pts
+
+let space_time ?(style = default_style) ?target ?fault ?time_max trajectories =
+  let n = Array.length trajectories in
+  if n = 0 then invalid_arg "Svg_render.space_time: no robots";
+  if n > 8 then invalid_arg "Svg_render.space_time: at most 8 robots";
+  Array.iter
+    (fun tr ->
+      if World.arity (Trajectory.world tr) <> 2 then
+        invalid_arg "Svg_render.space_time: line worlds only")
+    trajectories;
+  (match fault with
+  | Some a when Array.length a.Fault.faulty <> n ->
+      invalid_arg "Svg_render.space_time: fault assignment arity"
+  | _ -> ());
+  let time_max =
+    match time_max with
+    | Some t -> t
+    | None ->
+        (* show about 8 legs of the slowest robot *)
+        Array.fold_left
+          (fun acc tr ->
+            let l = Trajectory.leg tr 8 in
+            Float.max acc
+              (l.Trajectory.t_start
+              +. Float.abs (l.Trajectory.d_to -. l.Trajectory.d_from)))
+          1. trajectories
+  in
+  let lines = Array.map (fun tr -> polyline_points tr ~time_max) trajectories in
+  let x_extent =
+    let m = ref 1. in
+    Array.iter
+      (fun pts -> List.iter (fun (_, x) -> m := Float.max !m (Float.abs x)) pts)
+      lines;
+    (match target with
+    | Some p -> m := Float.max !m p.World.dist
+    | None -> ());
+    !m *. 1.05
+  in
+  let w = float_of_int style.width and h = float_of_int style.height in
+  let mg = float_of_int style.margin in
+  let sx x = ((x /. x_extent) +. 1.) /. 2. *. (w -. (2. *. mg)) +. mg in
+  let sy t = (t /. time_max *. (h -. (2. *. mg))) +. mg in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    style.width style.height style.width style.height;
+  out "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n";
+  (* axes: origin vertical, time arrow *)
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#cccccc\" \
+     stroke-dasharray=\"4 4\"/>\n"
+    (sx 0.) (sy 0.) (sx 0.) (sy time_max);
+  out
+    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#666666\">position \
+     0</text>\n"
+    (sx 0. +. 4.) (mg -. 8.);
+  out
+    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#666666\">time \
+     ↓ (to %.3g)</text>\n"
+    (mg /. 3.) (h -. (mg /. 3.)) time_max;
+  (* the target line and visits *)
+  (match target with
+  | Some p ->
+      let x = World.line_coordinate p in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#444444\" stroke-width=\"1.5\"/>\n"
+        (sx x) (sy 0.) (sx x) (sy time_max);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#444444\">target \
+         %.3g</text>\n"
+        (sx x +. 4.) (sy time_max -. 4.) x
+  | None -> ());
+  (* polylines *)
+  Array.iteri
+    (fun r pts ->
+      let color = palette.(r mod Array.length palette) in
+      let coords =
+        pts
+        |> List.map (fun (t, x) -> Printf.sprintf "%.1f,%.1f" (sx x) (sy t))
+        |> String.concat " "
+      in
+      out
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+         stroke-width=\"1.5\" opacity=\"0.9\"/>\n"
+        coords color;
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"%s\">%s%s</text>\n"
+        (w -. mg +. 4.)
+        (mg +. (14. *. float_of_int r))
+        color
+        (Trajectory.label trajectories.(r))
+        (match fault with
+        | Some a when a.Fault.faulty.(r) -> " (faulty)"
+        | _ -> ""))
+    lines;
+  (* visits and detection *)
+  (match target with
+  | Some p ->
+      let x = World.line_coordinate p in
+      Array.iteri
+        (fun r tr ->
+          let color = palette.(r mod Array.length palette) in
+          List.iter
+            (fun t ->
+              out
+                "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n"
+                (sx x) (sy t) color)
+            (Trajectory.visits tr ~target:p ~horizon:time_max))
+        trajectories;
+      (match fault with
+      | Some assignment -> (
+          match
+            Engine.detection_time_fixed trajectories ~assignment ~target:p
+              ~horizon:time_max
+          with
+          | Some t ->
+              out
+                "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"7\" fill=\"none\" \
+                 stroke=\"#000000\" stroke-width=\"2\"/>\n"
+                (sx x) (sy t)
+          | None -> ())
+      | None -> ())
+  | None -> ());
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path svg =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc svg)

@@ -1,0 +1,156 @@
+module Lazy_seq = Search_numerics.Lazy_seq
+
+type leg = { ray : int; d_from : float; d_to : float; t_start : float }
+
+type t = { itinerary : Itinerary.t; legs : leg Lazy_seq.t }
+
+exception Stalled of string
+
+let default_max_legs = 2_000_000
+
+(* State of the leg generator: next waypoint to head to, current location
+   and time, plus a stashed second leg when a ray change was split. *)
+type gen_state = {
+  next_wp : int;
+  pos : World.point;
+  now : float;
+  stash : (int * float) option; (* (ray, d_to): outbound leg from origin *)
+}
+
+let duration d_from d_to = Float.abs (d_to -. d_from)
+
+let compile itinerary =
+  let step state =
+    match state.stash with
+    | Some (ray, d_to) ->
+        let l = { ray; d_from = 0.; d_to; t_start = state.now } in
+        ( l,
+          {
+            next_wp = state.next_wp;
+            pos = World.point (Itinerary.world itinerary) ~ray ~dist:d_to;
+            now = state.now +. d_to;
+            stash = None;
+          } )
+    | None ->
+        (* Find the next waypoint that produces a nonzero move; bound the
+           scan so a constant itinerary raises instead of spinning. *)
+        let rec advance i guard =
+          if guard > 1000 then
+            raise
+              (Stalled
+                 (Printf.sprintf "%s: 1000 consecutive stationary waypoints"
+                    (Itinerary.label itinerary)))
+          else
+            let wp = Itinerary.waypoint itinerary i in
+            if World.equal_point wp state.pos then advance (i + 1) (guard + 1)
+            else (i, wp)
+        in
+        let i, wp = advance state.next_wp 0 in
+        let same_ray =
+          World.is_origin state.pos || World.is_origin wp
+          || wp.World.ray = state.pos.World.ray
+        in
+        if same_ray then
+          let ray =
+            if World.is_origin wp then state.pos.World.ray else wp.World.ray
+          in
+          let d_from = state.pos.World.dist and d_to = wp.World.dist in
+          let l = { ray; d_from; d_to; t_start = state.now } in
+          ( l,
+            {
+              next_wp = i + 1;
+              pos = wp;
+              now = state.now +. duration d_from d_to;
+              stash = None;
+            } )
+        else
+          (* inbound leg now; outbound leg stashed *)
+          let d_from = state.pos.World.dist in
+          let l =
+            { ray = state.pos.World.ray; d_from; d_to = 0.; t_start = state.now }
+          in
+          ( l,
+            {
+              next_wp = i + 1;
+              pos = World.origin;
+              now = state.now +. d_from;
+              stash = Some (wp.World.ray, wp.World.dist);
+            } )
+  in
+  let init = { next_wp = 1; pos = World.origin; now = 0.; stash = None } in
+  { itinerary; legs = Lazy_seq.unfold ~init step }
+
+let itinerary t = t.itinerary
+let world t = Itinerary.world t.itinerary
+let label t = Itinerary.label t.itinerary
+let leg t i = Lazy_seq.get t.legs i
+
+let leg_end l = l.t_start +. duration l.d_from l.d_to
+
+(* Walk legs while [continue leg] holds, threading an accumulator. *)
+let fold_legs t ~max_legs ~continue ~f init =
+  let rec loop i acc =
+    if i > max_legs then
+      raise
+        (Stalled
+           (Printf.sprintf "%s: exceeded %d legs within horizon" (label t)
+              max_legs))
+    else
+      let l = leg t i in
+      if not (continue l) then acc else loop (i + 1) (f acc l)
+  in
+  loop 1 init
+
+let position ?(max_legs = default_max_legs) t time =
+  if time < 0. then invalid_arg "Trajectory.position: negative time";
+  let found =
+    fold_legs t ~max_legs
+      ~continue:(fun l -> l.t_start <= time)
+      ~f:(fun acc l ->
+        if time <= leg_end l then
+          let progressed = time -. l.t_start in
+          let dir = if l.d_to >= l.d_from then 1. else -1. in
+          Some (World.point (world t) ~ray:l.ray ~dist:(l.d_from +. (dir *. progressed)))
+        else acc)
+      None
+  in
+  match found with
+  | Some p -> p
+  | None -> World.origin (* time 0 before any leg *)
+
+(* Visit times of [target] within one leg. *)
+let leg_visit l (target : World.point) =
+  if l.ray <> target.World.ray && not (World.is_origin target) then None
+  else
+    let d = target.World.dist in
+    let lo = Float.min l.d_from l.d_to and hi = Float.max l.d_from l.d_to in
+    if World.is_origin target then
+      (* the origin belongs to every ray *)
+      if lo <= 0. && 0. <= hi then Some (l.t_start +. duration l.d_from 0.)
+      else None
+    else if d < lo || d > hi then None
+    else Some (l.t_start +. duration l.d_from d)
+
+let visits ?(max_legs = default_max_legs) t ~target ~horizon =
+  let times =
+    fold_legs t ~max_legs
+      ~continue:(fun l -> l.t_start <= horizon)
+      ~f:(fun acc l ->
+        match leg_visit l target with
+        | Some time when time <= horizon -> time :: acc
+        | Some _ | None -> acc)
+      []
+  in
+  (* A turn exactly at the target produces the same time from the inbound
+     and outbound legs; dedup. *)
+  List.sort_uniq Float.compare times
+
+let first_visit ?max_legs t ~target ~horizon =
+  match visits ?max_legs t ~target ~horizon with [] -> None | x :: _ -> Some x
+
+let leg_endpoints ?(max_legs = default_max_legs) t ~horizon =
+  fold_legs t ~max_legs
+    ~continue:(fun l -> l.t_start <= horizon)
+    ~f:(fun acc l -> (l.ray, l.d_to) :: acc)
+    []
+  |> List.rev

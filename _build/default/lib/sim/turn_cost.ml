@@ -1,0 +1,91 @@
+module Stats = Search_numerics.Stats
+
+let leg_duration (l : Trajectory.leg) =
+  Float.abs (l.Trajectory.d_to -. l.Trajectory.d_from)
+
+let leg_direction (l : Trajectory.leg) =
+  compare l.Trajectory.d_to l.Trajectory.d_from
+
+(* A boundary between consecutive legs is a charged reversal when the
+   direction flips on the same ray; a ray change through the origin is
+   charged only when [charge_origin]. *)
+let reversals_before ?(charge_origin = false) tr ~time =
+  let rec loop i count =
+    let l = Trajectory.leg tr i in
+    let t_end = l.Trajectory.t_start +. leg_duration l in
+    if t_end >= time then count
+    else
+      let next = Trajectory.leg tr (i + 1) in
+      let charged =
+        if next.Trajectory.ray = l.Trajectory.ray then
+          leg_direction next <> leg_direction l
+        else charge_origin
+      in
+      loop (i + 1) (if charged then count + 1 else count)
+  in
+  loop 1 0
+
+let charged_visit ?charge_origin tr ~turn_cost ~target ~horizon =
+  if turn_cost < 0. then invalid_arg "Turn_cost.charged_visit: need c >= 0";
+  match Trajectory.visits tr ~target ~horizon with
+  | [] -> None
+  | visits ->
+      (* cost is nondecreasing in visit time, but take the min anyway *)
+      let costs =
+        List.map
+          (fun t ->
+            t
+            +. (turn_cost
+               *. float_of_int (reversals_before ?charge_origin tr ~time:t)))
+          visits
+      in
+      Some (List.fold_left Float.min infinity costs)
+
+let detection_cost ?charge_origin trajectories ~f ~turn_cost ~target ~horizon =
+  if f < 0 then invalid_arg "Turn_cost.detection_cost: f < 0";
+  let costs =
+    Array.to_list trajectories
+    |> List.filter_map (fun tr ->
+           charged_visit ?charge_origin tr ~turn_cost ~target ~horizon)
+    |> List.sort Float.compare
+  in
+  List.nth_opt costs f
+
+let worst_ratio ?charge_origin ?(eps = 1e-7) ?(ratio_cap = 1024.) trajectories
+    ~f ~turn_cost ~n () =
+  if n < 1. then invalid_arg "Turn_cost.worst_ratio: need n >= 1";
+  let world = Trajectory.world trajectories.(0) in
+  let horizon = ratio_cap *. n in
+  let candidates = ref [] in
+  let add ray dist =
+    if dist >= 1. && dist <= n then
+      candidates := World.point world ~ray ~dist :: !candidates
+  in
+  for ray = 0 to World.arity world - 1 do
+    add ray 1.;
+    add ray n
+  done;
+  Array.iter
+    (fun tr ->
+      List.iter
+        (fun (ray, d) ->
+          add ray d;
+          add ray (d *. (1. -. eps));
+          add ray (d *. (1. +. eps)))
+        (Trajectory.leg_endpoints tr ~horizon))
+    trajectories;
+  let sup =
+    List.fold_left
+      (fun acc target ->
+        let ratio =
+          match
+            detection_cost ?charge_origin trajectories ~f ~turn_cost ~target
+              ~horizon
+          with
+          | Some c -> c /. target.World.dist
+          | None -> infinity
+        in
+        Stats.sup_add acc ~key:target ~value:ratio)
+      Stats.sup_empty !candidates
+  in
+  Stats.sup_value sup

@@ -1,0 +1,1 @@
+lib/strategy/baseline.ml: Array Cyclic Mray_exponential Printf Search_bounds Search_sim

@@ -1,0 +1,1 @@
+lib/strategy/baseline.mli: Search_bounds Search_sim

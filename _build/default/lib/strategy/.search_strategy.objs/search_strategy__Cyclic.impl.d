@@ -1,0 +1,1 @@
+lib/strategy/cyclic.ml: Mray_exponential Search_bounds

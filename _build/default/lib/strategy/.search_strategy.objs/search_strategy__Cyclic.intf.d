@@ -1,0 +1,1 @@
+lib/strategy/cyclic.mli: Mray_exponential Search_sim

@@ -1,0 +1,1 @@
+lib/strategy/group.ml: Array Baseline Line_zigzag Mray_exponential Printf Search_bounds Search_sim

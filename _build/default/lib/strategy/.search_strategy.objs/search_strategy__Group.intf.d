@@ -1,0 +1,1 @@
+lib/strategy/group.mli: Search_bounds Search_sim Turning

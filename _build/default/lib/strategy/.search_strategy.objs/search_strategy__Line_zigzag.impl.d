@@ -1,0 +1,1 @@
+lib/strategy/line_zigzag.ml: Float List Search_numerics Search_sim Turning

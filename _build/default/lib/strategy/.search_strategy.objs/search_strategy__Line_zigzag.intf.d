@@ -1,0 +1,1 @@
+lib/strategy/line_zigzag.mli: Search_numerics Search_sim Turning

@@ -1,0 +1,1 @@
+lib/strategy/mray_exponential.ml: Array List Printf Search_bounds Search_numerics Search_sim

@@ -1,0 +1,1 @@
+lib/strategy/mray_exponential.mli: Search_bounds Search_numerics Search_sim

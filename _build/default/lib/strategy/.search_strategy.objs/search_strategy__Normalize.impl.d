@@ -1,0 +1,1 @@
+lib/strategy/normalize.ml: Printf Search_numerics Turning

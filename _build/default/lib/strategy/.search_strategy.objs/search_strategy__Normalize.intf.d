@@ -1,0 +1,1 @@
+lib/strategy/normalize.mli: Turning

@@ -1,0 +1,1 @@
+lib/strategy/orc_round.mli: Search_numerics Search_sim Turning

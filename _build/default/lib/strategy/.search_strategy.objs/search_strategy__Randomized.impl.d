@@ -1,0 +1,1 @@
+lib/strategy/randomized.ml: Float Search_numerics Turning

@@ -1,0 +1,1 @@
+lib/strategy/randomized.mli: Search_numerics Turning

@@ -1,0 +1,1 @@
+lib/strategy/turning.ml: Float Printf Search_numerics

@@ -1,0 +1,1 @@
+lib/strategy/turning.mli:

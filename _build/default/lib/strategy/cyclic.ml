@@ -1,0 +1,13 @@
+module Params = Search_bounds.Params
+
+let make ?alpha ~m ~k () =
+  if not (1 <= k && k < m) then invalid_arg "Cyclic.make: need 1 <= k < m";
+  Mray_exponential.make ?alpha (Params.make ~m ~k ~f:0)
+
+let itineraries ?alpha ~m ~k () =
+  Mray_exponential.itineraries (make ?alpha ~m ~k ())
+
+let single_robot ?alpha ~m () =
+  Mray_exponential.itinerary (make ?alpha ~m ~k:1 ()) ~robot:0
+
+let doubling_cow () = single_robot ~m:2 ()

@@ -1,0 +1,34 @@
+module Params = Search_bounds.Params
+
+type t = {
+  params : Params.t;
+  itineraries : Search_sim.Itinerary.t array;
+  predicted_ratio : float;
+}
+
+let optimal ?alpha params =
+  match Params.regime params with
+  | Params.Unsolvable ->
+      invalid_arg "Group.optimal: all robots may be faulty (f = k)"
+  | Params.Ratio_one ->
+      { params; itineraries = Baseline.partition params; predicted_ratio = 1. }
+  | Params.Searching ->
+      let strat = Mray_exponential.make ?alpha params in
+      {
+        params;
+        itineraries = Mray_exponential.itineraries strat;
+        predicted_ratio = Mray_exponential.predicted_ratio strat;
+      }
+
+let line_zigzags ?labels turns =
+  Array.mapi
+    (fun r t ->
+      let label =
+        match labels with
+        | Some ls when r < Array.length ls -> ls.(r)
+        | Some _ | None -> Printf.sprintf "zigzag-%d" r
+      in
+      Line_zigzag.itinerary ~label t)
+    turns
+
+let trajectories t = Array.map Search_sim.Trajectory.compile t.itineraries

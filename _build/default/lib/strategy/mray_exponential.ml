@@ -1,0 +1,109 @@
+module Params = Search_bounds.Params
+module Formulas = Search_bounds.Formulas
+module Interval1 = Search_numerics.Interval1
+
+type t = { params : Params.t; alpha : float; l_min : int }
+
+let make ?alpha ?l_min params =
+  (match Params.regime params with
+  | Params.Searching -> ()
+  | Params.Unsolvable | Params.Ratio_one ->
+      invalid_arg "Mray_exponential.make: instance not in the searching regime");
+  let { Params.m; k; f } = params in
+  let q = Params.q params in
+  let alpha =
+    match alpha with Some a -> a | None -> Formulas.alpha_star ~q ~k
+  in
+  if alpha <= 1. then invalid_arg "Mray_exponential.make: need alpha > 1";
+  let l_min = match l_min with Some l -> l | None -> -(m * (f + 2)) in
+  { params; alpha; l_min }
+
+let params t = t.params
+let alpha t = t.alpha
+
+let ray_of_pass t ~l =
+  let m = t.params.Params.m in
+  (((l - 1) mod m) + m) mod m
+
+let depth_of_pass t ~robot ~l =
+  let { Params.m; k; _ } = t.params in
+  if robot < 0 || robot >= k then
+    invalid_arg "Mray_exponential.depth_of_pass: robot out of range";
+  let e = (k * l) + (m * (robot + 1)) in
+  t.alpha ** float_of_int e
+
+let itinerary t ~robot =
+  let world = Search_sim.World.rays t.params.Params.m in
+  let label = Printf.sprintf "robot-%d" robot in
+  Search_sim.Itinerary.of_excursions ~label ~world (fun p ->
+      let l = t.l_min + p - 1 in
+      (ray_of_pass t ~l, depth_of_pass t ~robot ~l))
+
+let itineraries t =
+  Array.init t.params.Params.k (fun robot -> itinerary t ~robot)
+
+let assigned_intervals_on_ray t ~robot ~ray ~within:(lo, hi) =
+  if lo <= 0. || hi < lo then
+    invalid_arg "Mray_exponential.assigned_intervals_on_ray: bad window";
+  let { Params.m; k; f } = t.params in
+  if ray < 0 || ray >= m then
+    invalid_arg "Mray_exponential.assigned_intervals_on_ray: bad ray";
+  let r1 = robot + 1 in
+  let log_alpha = log t.alpha in
+  let hi_exp = log hi /. log_alpha in
+  (* passes on this ray: l = ray + 1 (mod m), starting at the first >= l_min *)
+  let first_l =
+    let target = ray + 1 in
+    let rec find l = if ray_of_pass t ~l = ray then l else find (l + 1) in
+    ignore target;
+    find t.l_min
+  in
+  let rec collect l acc =
+    let left_exp = float_of_int ((k * l) + (m * (r1 - f - 1))) in
+    if left_exp >= hi_exp then List.rev acc
+    else
+      let right_exp = float_of_int ((k * l) + (m * r1)) in
+      let left = t.alpha ** left_exp and right = t.alpha ** right_exp in
+      let acc =
+        if right >= lo then Interval1.left_open left right :: acc else acc
+      in
+      collect (l + m) acc
+  in
+  collect first_l []
+
+let predicted_ratio t =
+  let { Params.k; _ } = t.params in
+  Formulas.exponential_ratio ~q:(Params.q t.params) ~k ~alpha:t.alpha
+
+(* Multiplicity of the integer exponent e on ray 0:
+   #{(r, l) : l ≡ 1 (mod m), 1 <= r <= k,
+              k l + m (r - f - 1) < e <= k l + m r},
+   equivalently, with l = 1 + m j,
+              0 <= k + k m j + m r - e < m (f + 1).
+   Interval endpoints are integers, so real exponents x in (e-1, e] have
+   the multiplicity of e; shifting e by k m shifts j by 1 (periodicity),
+   and ray i's multiplicity at e is ray 0's at e - k i (shift l by i).
+   Hence the length-k*m array below decides the covering claim for every
+   distance on every ray. *)
+let coverage_multiplicity_by_residue t =
+  let { Params.m; k; f } = t.params in
+  let width = m * (f + 1) in
+  let out = Array.make (k * m) 0 in
+  for e = 0 to (k * m) - 1 do
+    let count = ref 0 in
+    for r = 1 to k do
+      (* j only matters within a window of length m(f+1) around
+         (e - k - m r)/(k m); with e in [0, k m) a fixed small range of j
+         safely covers it *)
+      for j = -(f + 3) to f + 3 do
+        let v = k + (k * m * j) + (m * r) - e in
+        if 0 <= v && v < width then incr count
+      done
+    done;
+    out.(e) <- !count
+  done;
+  out
+
+let coverage_theorem_holds t =
+  let { Params.f; _ } = t.params in
+  Array.for_all (( = ) (f + 1)) (coverage_multiplicity_by_residue t)

@@ -1,0 +1,40 @@
+exception Diverged of string
+
+(* Both variants walk the original sequence, keeping a turn when it is
+   fruitful w.r.t. the turns kept so far.  The kept partial sum and the
+   previous kept turn are the only state needed. *)
+
+let transform ~scan_limit ~keep turns =
+  let next (orig_i, sum_kept, prev_kept) =
+    let rec scan i tries =
+      if tries > scan_limit then
+        raise
+          (Diverged
+             (Printf.sprintf
+                "Normalize: no fruitful turn among %d candidates after index %d"
+                scan_limit orig_i))
+      else
+        let t = Turning.get turns i in
+        if keep ~sum_kept ~prev_kept t then (t, i)
+        else scan (i + 1) (tries + 1)
+    in
+    let t, i = scan orig_i 0 in
+    (t, (i + 1, sum_kept +. t, t))
+  in
+  Turning.of_fun
+    (let seq = Search_numerics.Lazy_seq.unfold ~init:(1, 0., 0.) next in
+     fun i -> Search_numerics.Lazy_seq.get seq i)
+
+let fruitful_only_orc ?(scan_limit = 10_000) ~mu turns =
+  if mu <= 0. then invalid_arg "Normalize.fruitful_only_orc: need mu > 0";
+  let keep ~sum_kept ~prev_kept:_ t = sum_kept /. mu <= t in
+  transform ~scan_limit ~keep turns
+
+let fruitful_only_line ?(scan_limit = 10_000) ~mu turns =
+  if mu <= 0. then invalid_arg "Normalize.fruitful_only_line: need mu > 0";
+  let keep ~sum_kept ~prev_kept t =
+    (* line threshold includes t itself in the sum, and the kept sequence
+       must strictly increase for a turn to add coverage *)
+    t > prev_kept && (sum_kept +. t) /. mu <= t
+  in
+  transform ~scan_limit ~keep turns

@@ -1,0 +1,27 @@
+(** The standardisation steps of the proofs, as strategy transformers.
+
+    Both proofs begin by normalising an arbitrary strategy into one whose
+    every turn λ-covers something: "turning points that are not fruitful
+    can be skipped, in this way definitely λ-covering at least as much"
+    (Section 2), and "if [t''_i > t_i], round [i] does not λ-cover any
+    point, and we may as well skip this round" (Section 3.1).  Skipping a
+    turn shrinks the partial sums, so later thresholds [t''] move left and
+    coverage only grows — the monotonicity the property tests check. *)
+
+exception Diverged of string
+(** Raised when, while searching for the next fruitful turn, [scan_limit]
+    consecutive candidates were unfruitful — the input strategy cannot
+    cover anything at this [mu] (e.g. its turning points grow too slowly). *)
+
+val fruitful_only_orc : ?scan_limit:int -> mu:float -> Turning.t -> Turning.t
+(** Keep exactly the rounds that are fruitful {e with respect to the
+    already-kept prefix} (thresholds are recomputed as rounds are dropped).
+    The result's rounds are all fruitful at [mu].  [scan_limit] defaults to
+    10_000. *)
+
+val fruitful_only_line : ?scan_limit:int -> mu:float -> Turning.t -> Turning.t
+(** Line variant: fruitfulness uses the line threshold
+    [t''_i = max ((sum up to i) / mu) t_{i-1}] over kept turns, and turns
+    that do not exceed the previous kept turning point are dropped too
+    (the proof's monotonicity repair: "if [t_{i+1} = t_i] ... we can skip
+    [t_{i+1}]"). *)

@@ -1,0 +1,59 @@
+module Prng = Search_numerics.Prng
+module Root = Search_numerics.Root
+
+let ratio_formula ~beta =
+  if beta <= 1. then invalid_arg "Randomized.ratio_formula: need beta > 1";
+  1. +. ((1. +. beta) /. log beta)
+
+let optimal_beta () =
+  Root.brent ~f:(fun b -> (b *. log b) -. b -. 1.) 1.5 10.
+
+let optimal_ratio () = 1. +. optimal_beta ()
+
+let turning ~beta ~u =
+  if beta <= 1. then invalid_arg "Randomized.turning: need beta > 1";
+  if not (0. <= u && u < 1.) then invalid_arg "Randomized.turning: need 0 <= u < 1";
+  Turning.of_fun (fun i -> beta ** (float_of_int i +. u))
+
+(* Motion-level walk of the zigzag until the signed coordinate x is
+   reached; the turning points need not bracket x yet, so walk leg by
+   leg. *)
+let detection_time ~beta ~u ~positive_first ~x =
+  if x = 0. then invalid_arg "Randomized.detection_time: need x <> 0";
+  let turns = turning ~beta ~u in
+  let rec walk i pos time =
+    if i > 10_000 then
+      invalid_arg "Randomized.detection_time: target not reached in 10^4 legs"
+    else
+      let sign =
+        if (i mod 2 = 1) = positive_first then 1. else -1.
+      in
+      let dest = sign *. Turning.get turns i in
+      let lo = Float.min pos dest and hi = Float.max pos dest in
+      if x >= lo && x <= hi then time +. Float.abs (x -. pos)
+      else walk (i + 1) dest (time +. Float.abs (dest -. pos))
+  in
+  walk 1 0. 0.
+
+let expected_ratio_at ~beta ~x ~samples ~prng =
+  if samples < 1 then invalid_arg "Randomized.expected_ratio_at";
+  let rec loop i prng acc =
+    if i >= samples then acc /. float_of_int samples
+    else
+      let u, prng = Prng.float prng in
+      let positive_first, prng = Prng.bool prng in
+      let t = detection_time ~beta ~u ~positive_first ~x in
+      loop (i + 1) prng (acc +. (t /. Float.abs x))
+  in
+  loop 0 prng 0.
+
+let expected_ratio_exact ~beta ~x ~grid =
+  if grid < 1 then invalid_arg "Randomized.expected_ratio_exact";
+  let acc = ref 0. in
+  for i = 0 to grid - 1 do
+    let u = (float_of_int i +. 0.5) /. float_of_int grid in
+    let t_pos = detection_time ~beta ~u ~positive_first:true ~x in
+    let t_neg = detection_time ~beta ~u ~positive_first:false ~x in
+    acc := !acc +. (0.5 *. (t_pos +. t_neg) /. Float.abs x)
+  done;
+  !acc /. float_of_int grid

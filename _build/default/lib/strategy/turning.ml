@@ -1,0 +1,44 @@
+module Lazy_seq = Search_numerics.Lazy_seq
+
+type t = { seq : float Lazy_seq.t; sums : float Lazy_seq.t }
+
+let wrap seq = { seq; sums = Lazy_seq.partial_sums seq }
+
+let of_fun f = wrap (Lazy_seq.of_fun f)
+let of_list_then prefix tail = wrap (Lazy_seq.of_list_then prefix tail)
+
+let geometric ?(scale = 1.) ~alpha () =
+  if alpha <= 0. then invalid_arg "Turning.geometric: need alpha > 0";
+  if scale <= 0. then invalid_arg "Turning.geometric: need scale > 0";
+  of_fun (fun i -> scale *. (alpha ** float_of_int i))
+
+let constant_then_geometric ~first ~alpha =
+  if first <= 0. then invalid_arg "Turning.constant_then_geometric: first <= 0";
+  if alpha <= 0. then invalid_arg "Turning.constant_then_geometric: alpha <= 0";
+  of_fun (fun i -> first *. (alpha ** float_of_int (i - 1)))
+
+let get t i =
+  let v = Lazy_seq.get t.seq i in
+  if v < 0. || Float.is_nan v then
+    invalid_arg (Printf.sprintf "Turning.get: t_%d = %g is invalid" i v);
+  v
+
+let partial_sum t i =
+  if i < 0 then invalid_arg "Turning.partial_sum: negative index"
+  else if i = 0 then 0.
+  else Lazy_seq.get t.sums i
+
+let nondecreasing_prefix t ~n =
+  let rec check i prev =
+    if i > n then true
+    else
+      let v = get t i in
+      if v >= prev then check (i + 1) v else false
+  in
+  check 1 0.
+
+let scale t c =
+  if c <= 0. then invalid_arg "Turning.scale: need c > 0";
+  of_fun (fun i -> c *. get t i)
+
+let map_indices t g = of_fun (fun i -> get t (g i))

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Float List Printf QCheck2 QCheck_alcotest Search_bounds

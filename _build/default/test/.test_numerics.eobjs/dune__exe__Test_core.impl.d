@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Faulty_search Float List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_covering.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Search_bounds Search_covering Search_numerics Search_strategy

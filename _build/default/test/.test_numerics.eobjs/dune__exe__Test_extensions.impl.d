@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Int64 List Printf QCheck2 QCheck_alcotest Search_bounds Search_covering Search_numerics Search_sim Search_strategy Sys

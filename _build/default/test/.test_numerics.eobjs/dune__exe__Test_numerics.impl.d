@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Float Format List QCheck2 QCheck_alcotest Search_numerics String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Filename Float Format List Option Printf QCheck2 QCheck_alcotest Search_bounds Search_sim Search_strategy String Sys

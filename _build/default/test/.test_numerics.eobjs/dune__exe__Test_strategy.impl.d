@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Search_bounds Search_numerics Search_sim Search_strategy

@@ -1,0 +1,540 @@
+(* Tests for the related-work extensions: the PRNG substrate, CSV
+   emission, the randomized cow path (Kao-Reif-Tate), the distance/work
+   measure (Kao-Ma-Sipser-Yin), turn costs (Demaine-Fekete-Gal), the
+   stochastic (Bellman-Beck) evaluation, and the Case-2 induction
+   machinery of Section 3.1. *)
+
+module Prng = Search_numerics.Prng
+module Csv = Search_numerics.Csv_out
+module R = Search_strategy.Randomized
+module WS = Search_sim.Work_schedule
+module TC = Search_sim.Turn_cost
+module St = Search_sim.Stochastic
+module Ind = Search_covering.Induction
+module W = Search_sim.World
+module Tr = Search_sim.Trajectory
+module F = Search_bounds.Formulas
+module P = Search_bounds.Params
+module A = Search_covering.Assigned
+module Sweep = Search_numerics.Sweep
+
+let checkf = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a1, _ = Prng.next_int64 (Prng.make ~seed:7) in
+  let a2, _ = Prng.next_int64 (Prng.make ~seed:7) in
+  check_bool "same seed same stream" true (Int64.equal a1 a2);
+  let b1, _ = Prng.next_int64 (Prng.make ~seed:8) in
+  check_bool "different seed differs" false (Int64.equal a1 b1)
+
+let test_prng_float_range () =
+  let rec loop g i =
+    if i < 1000 then begin
+      let u, g = Prng.float g in
+      check_bool "in [0,1)" true (0. <= u && u < 1.);
+      loop g (i + 1)
+    end
+  in
+  loop (Prng.make ~seed:1) 0
+
+let test_prng_uniformity () =
+  (* crude mean/variance check over 10k draws *)
+  let n = 10_000 in
+  let rec loop g i acc acc2 =
+    if i = n then (acc /. float_of_int n, acc2 /. float_of_int n)
+    else
+      let u, g = Prng.float g in
+      loop g (i + 1) (acc +. u) (acc2 +. (u *. u))
+  in
+  let mean, m2 = loop (Prng.make ~seed:99) 0 0. 0. in
+  check_bool "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.02);
+  check_bool "second moment near 1/3" true (Float.abs (m2 -. (1. /. 3.)) < 0.02)
+
+let test_prng_int_bound () =
+  let rec loop g i seen =
+    if i = 500 then seen
+    else
+      let v, g = Prng.int ~bound:6 g in
+      check_bool "in range" true (0 <= v && v < 6);
+      loop g (i + 1) (if List.mem v seen then seen else v :: seen)
+  in
+  let seen = loop (Prng.make ~seed:5) 0 [] in
+  check_int "all faces seen" 6 (List.length seen)
+
+let test_prng_split_independent () =
+  let a, b = Prng.split (Prng.make ~seed:3) in
+  let va, _ = Prng.next_int64 a and vb, _ = Prng.next_int64 b in
+  check_bool "split streams differ" false (Int64.equal va vb)
+
+(* ------------------------------------------------------------------ *)
+(* Csv_out *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_field "a\"b")
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "fsearch" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ]
+    ~rows:[ [ "1"; "2" ]; [ "3"; "4,5" ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "content" [ "x,y"; "1,2"; "3,\"4,5\"" ] lines
+
+let test_csv_arity () =
+  let path = Filename.temp_file "fsearch" ".csv" in
+  (match Csv.write ~path ~header:[ "a" ] ~rows:[ [ "1"; "2" ] ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "arity mismatch accepted");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Randomized (Kao-Reif-Tate) *)
+
+let test_krt_optimal_beta () =
+  let b = R.optimal_beta () in
+  (* defining equation beta ln beta = beta + 1 *)
+  Alcotest.(check (float 1e-9)) "defining equation" (b +. 1.) (b *. log b);
+  check_bool "near 3.59112" true (Float.abs (b -. 3.59112) < 1e-4);
+  Alcotest.(check (float 1e-9)) "ratio = 1 + beta" (1. +. b) (R.optimal_ratio ())
+
+let test_krt_formula_at_optimum () =
+  let b = R.optimal_beta () in
+  Alcotest.(check (float 1e-9)) "r(beta*) = 1 + beta*" (1. +. b)
+    (R.ratio_formula ~beta:b);
+  (* any other beta is worse *)
+  List.iter
+    (fun beta ->
+      check_bool "suboptimal" true (R.ratio_formula ~beta > 1. +. b +. 1e-6))
+    [ 2.0; 3.0; 4.5; 6.0 ]
+
+let test_krt_beats_deterministic () =
+  check_bool "4.59 < 9" true (R.optimal_ratio () < 9.)
+
+let test_krt_detection_time_concrete () =
+  (* u = 0, positive first, beta = 2: turns 2, 4, 8 at +2, -4, +8 *)
+  checkf "target +1.5 outbound" 1.5
+    (R.detection_time ~beta:2. ~u:0. ~positive_first:true ~x:1.5);
+  (* target -3: reached on leg 2 after 2 + 2 + 3 *)
+  checkf "target -3" 7.
+    (R.detection_time ~beta:2. ~u:0. ~positive_first:true ~x:(-3.))
+
+let test_krt_quadrature_matches_formula () =
+  let b = R.optimal_beta () in
+  (* exact expected ratio at finite x carries a -2 beta/(x ln beta)
+     correction; check both at moderate x *)
+  let x = 500. in
+  let expected = R.ratio_formula ~beta:b -. (2. *. b /. (x *. log b)) in
+  let measured = R.expected_ratio_exact ~beta:b ~x ~grid:2000 in
+  check_bool "quadrature within 2e-3" true (Float.abs (measured -. expected) < 2e-3)
+
+let test_krt_monte_carlo_agrees () =
+  let b = R.optimal_beta () in
+  let mc =
+    R.expected_ratio_at ~beta:b ~x:500. ~samples:20_000
+      ~prng:(Prng.make ~seed:2024)
+  in
+  let exact = R.expected_ratio_exact ~beta:b ~x:500. ~grid:2000 in
+  check_bool "MC within 0.05 of quadrature" true (Float.abs (mc -. exact) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Work_schedule (Kao-Ma-Sipser-Yin distance measure) *)
+
+let test_ws_single_robot_anchor () =
+  (* with k = 1 work = time: the classic single-robot values *)
+  List.iter
+    (fun m ->
+      let sched = WS.kmsy ~alpha:(F.alpha_star ~q:m ~k:1) ~m ~k:1 () in
+      let out = WS.worst_ratio sched ~n:200. () in
+      check_bool
+        (Printf.sprintf "m=%d anchor" m)
+        true
+        (Float.abs (out.WS.ratio -. F.single_robot_mray ~m) < 0.05))
+    [ 2; 3; 4 ]
+
+let test_ws_work_to_visit_concrete () =
+  (* two robots, hand-written moves *)
+  let w = W.rays 2 in
+  let moves = [| { WS.robot = 0; target = W.point w ~ray:0 ~dist:2. };
+                 { WS.robot = 1; target = W.point w ~ray:1 ~dist:3. };
+                 { WS.robot = 0; target = W.point w ~ray:0 ~dist:5. } |] in
+  let sched = WS.make ~world:w ~robots:2 (fun i -> moves.((i - 1) mod 3)) in
+  (* target at ray 1, dist 2: move 1 costs 2, move 2 passes it after 2 *)
+  (match WS.work_to_visit sched ~target:(W.point w ~ray:1 ~dist:2.) ~work_budget:100. with
+  | Some wk -> checkf "work 2 + 2" 4. wk
+  | None -> Alcotest.fail "expected visit");
+  (* target at ray 0, dist 4: moves 1 (2) + 2 (3) + partial 2 = 7 *)
+  match WS.work_to_visit sched ~target:(W.point w ~ray:0 ~dist:4.) ~work_budget:100. with
+  | Some wk -> checkf "work 2 + 3 + 2" 7. wk
+  | None -> Alcotest.fail "expected visit"
+
+let test_ws_budget_exhaustion () =
+  let w = W.rays 2 in
+  let sched =
+    WS.make ~world:w ~robots:1 (fun i ->
+        { WS.robot = 0; target = W.point w ~ray:0 ~dist:(float_of_int i) })
+  in
+  check_bool "budget respected" true
+    (WS.work_to_visit sched ~target:(W.point w ~ray:1 ~dist:5.) ~work_budget:3. = None)
+
+let test_ws_more_robots_help () =
+  (* distance ratio improves with k (fewer return trips) at a common
+     moderately-good base *)
+  let ratio k =
+    let sched = WS.kmsy ~alpha:2. ~m:4 ~k () in
+    (WS.worst_ratio sched ~n:200. ()).WS.ratio
+  in
+  let r1 = ratio 1 and r2 = ratio 2 and r3 = ratio 3 in
+  check_bool "k=2 beats k=1" true (r2 < r1);
+  check_bool "k=3 beats k=2" true (r3 < r2)
+
+let test_ws_sequential_beats_parallel_charged () =
+  (* the Section 3 remark: in the distance measure, the time-optimal
+     parallel strategy is wasteful *)
+  let m = 4 and k = 3 in
+  let best_seq = ref infinity in
+  for i = 0 to 15 do
+    let alpha = 1.3 +. (0.2 *. float_of_int i) in
+    let sched = WS.kmsy ~alpha ~m ~k () in
+    let r = (WS.worst_ratio sched ~n:200. ()).WS.ratio in
+    if r < !best_seq then best_seq := r
+  done;
+  let p = P.make ~m ~k ~f:0 in
+  let trs = Search_strategy.Group.trajectories (Search_strategy.Group.optimal p) in
+  let parallel = WS.parallel_charged trs ~f:0 ~n:200. in
+  check_bool "sequential schedule wins on distance" true (!best_seq < parallel)
+
+let test_ws_validation () =
+  let w = W.rays 2 in
+  (match WS.make ~world:w ~robots:0 (fun _ -> assert false) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 robots accepted");
+  let sched =
+    WS.make ~world:w ~robots:1 (fun _ ->
+        { WS.robot = 3; target = W.point w ~ray:0 ~dist:1. })
+  in
+  match WS.move sched 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "robot out of range accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Turn_cost (Demaine-Fekete-Gal) *)
+
+let cow () = Tr.compile (Search_strategy.Cyclic.doubling_cow ())
+
+(* an explicit doubling zigzag with turns 1, 2, 4 (no warm-up turns, so
+   reversal times are 1, 4, 10) *)
+let plain_zigzag () =
+  Tr.compile
+    (Search_strategy.Line_zigzag.itinerary
+       (Search_strategy.Turning.geometric ~scale:0.5 ~alpha:2. ()))
+
+let test_tc_reversal_count () =
+  let tr = plain_zigzag () in
+  check_int "no reversal before t=1" 0 (TC.reversals_before tr ~time:1.);
+  check_int "one strictly after the tip" 1 (TC.reversals_before tr ~time:1.5);
+  check_int "two by t=5" 2 (TC.reversals_before tr ~time:5.);
+  check_int "three by t=12" 3 (TC.reversals_before tr ~time:12.)
+
+let test_tc_zero_cost_matches_engine () =
+  let tr = [| cow () |] in
+  let target = W.point W.line ~ray:1 ~dist:1.5 in
+  let plain = Search_sim.Engine.detection_time_worst tr ~f:0 ~target ~horizon:100. in
+  let charged = TC.detection_cost tr ~f:0 ~turn_cost:0. ~target ~horizon:100. in
+  check_bool "c=0 is the plain model" true (plain = charged)
+
+let test_tc_cost_monotone_in_c () =
+  let tr = [| cow () |] in
+  let r c = TC.worst_ratio tr ~f:0 ~turn_cost:c ~n:100. () in
+  let r0 = r 0. and r1 = r 1. and r5 = r 5. in
+  check_bool "increasing in c" true (r0 < r1 && r1 < r5);
+  check_bool "c=0 is the classic 9" true (Float.abs (r0 -. 9.) < 0.01)
+
+let test_tc_bases_converge_at_high_c () =
+  (* in the sup-over-[1,n] metric the worst case at large c sits just
+     past a turning point near distance 1 and charges one reversal for
+     every base, so the doubling advantage shrinks to nothing: at c = 0
+     doubling strictly wins, by c = 10 base 3 has caught up *)
+  let zig alpha =
+    [| Tr.compile (Search_strategy.Line_zigzag.itinerary
+                     (Search_strategy.Turning.geometric ~alpha ())) |]
+  in
+  let at c alpha = TC.worst_ratio (zig alpha) ~f:0 ~turn_cost:c ~n:100. () in
+  check_bool "at c=0 doubling wins" true (at 0. 2. < at 0. 3.);
+  let gap0 = at 0. 3. -. at 0. 2. in
+  let gap10 = at 10. 3. -. at 10. 2. in
+  check_bool "gap shrinks" true (gap10 < gap0);
+  check_bool "caught up at c=10" true (gap10 < 0.01)
+
+let test_tc_origin_charging () =
+  let tr = cow () in
+  (* with origin charging, ray changes through 0 also count *)
+  let without = TC.reversals_before tr ~time:12. in
+  let with_ = TC.reversals_before ~charge_origin:true tr ~time:12. in
+  check_bool "origin charges add" true (with_ > without)
+
+(* ------------------------------------------------------------------ *)
+(* Stochastic (Bellman-Beck) *)
+
+let test_st_distribution_validation () =
+  (match St.make [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty support accepted");
+  (match St.make [ (W.point W.line ~ray:0 ~dist:2., 0.4) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-normalised accepted");
+  let d = St.uniform_line ~cells:10 ~lo:1. ~hi:10. in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0. d.St.support in
+  checkf "sums to one" 1. total
+
+let test_st_expected_distance () =
+  let d = St.uniform_line ~cells:100 ~lo:1. ~hi:11. in
+  (* mean of uniform on [1, 11] is 6 *)
+  check_bool "E|d| near 6" true (Float.abs (St.expected_distance d -. 6.) < 0.01)
+
+let test_st_point_mass_matches_engine () =
+  let tr = [| cow () |] in
+  let p = W.point W.line ~ray:0 ~dist:7.3 in
+  let d = St.point_mass p in
+  let e = St.expected_detection_time tr ~f:0 d ~horizon:1e3 in
+  match Search_sim.Engine.detection_time_worst tr ~f:0 ~target:p ~horizon:1e3 with
+  | Some t -> checkf "point mass = detection time" t e
+  | None -> Alcotest.fail "expected detection"
+
+let test_st_beck_quotient_below_worst_case () =
+  (* expectation over a spread distribution beats the worst case *)
+  let tr = [| cow () |] in
+  let d = St.uniform_line ~cells:60 ~lo:1. ~hi:100. in
+  let q = St.beck_quotient tr ~f:0 d ~horizon:1e4 in
+  check_bool "below 9" true (q < 9.);
+  check_bool "above 1" true (q > 1.)
+
+let test_st_sided_sweep_beats_doubling_on_known_dist () =
+  let tr = [| cow () |] in
+  let d = St.uniform_line ~cells:60 ~lo:1. ~hi:100. in
+  let doubling_q = St.beck_quotient tr ~f:0 d ~horizon:1e4 in
+  let sided = St.best_sided_sweep d in
+  check_bool "knowing the distribution helps" true (sided < doubling_q)
+
+let test_st_undetectable_is_infinite () =
+  let tr = [| cow () |] in
+  let d = St.point_mass (W.point W.line ~ray:0 ~dist:5.) in
+  check_bool "tiny horizon -> infinity" true
+    (St.expected_detection_time tr ~f:0 d ~horizon:2. = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Induction (Section 3.1, Case 2) *)
+
+let assignment31 () =
+  let p = P.line ~k:3 ~f:1 in
+  let lam0 = F.of_params p in
+  let mu = (lam0 -. 1.) /. 2. in
+  let turns = Search_covering.Orc.of_mray_group (Search_strategy.Mray_exponential.make p) in
+  match A.build A.Orc_setting ~mu ~demand:4 ~turns ~up_to:300. () with
+  | A.Complete ivs -> (ivs, mu, turns)
+  | A.Stuck _ -> Alcotest.fail "assignment stuck"
+
+let test_ind_exponential_is_case1 () =
+  let ivs, mu, _ = assignment31 () in
+  let c_obs = Ind.observed_c ivs in
+  check_bool "bounded jumps" true (c_obs < 20.);
+  match Ind.classify ivs ~k:3 ~demand:4 ~mu ~c:(c_obs +. 1.) with
+  | Ind.Case1 { c } -> check_bool "case 1 with observed c" true (c <= c_obs +. 1e-9)
+  | Ind.Case2 _ -> Alcotest.fail "expected Case 1"
+
+let test_ind_detects_jumps () =
+  let ivs =
+    [
+      { A.robot = 0; left = 1.; turn = 2. };
+      { A.robot = 1; left = 1.; turn = 3. };
+      { A.robot = 0; left = 2.; turn = 4. };
+      { A.robot = 0; left = 200.; turn = 400. };
+    ]
+  in
+  (match Ind.jumps ivs ~c:50. with
+  | [ j ] ->
+      check_int "jumping robot" 0 j.Ind.robot;
+      checkf "from" 2. j.Ind.from_left;
+      checkf "to" 200. j.Ind.to_left
+  | l -> Alcotest.failf "expected one jump, got %d" (List.length l));
+  check_bool "observed c" true (Ind.observed_c ivs = 100.)
+
+let test_ind_case2_reduction_shape () =
+  let ivs =
+    [
+      { A.robot = 0; left = 1.; turn = 2. };
+      { A.robot = 1; left = 1.; turn = 3. };
+      { A.robot = 0; left = 2.; turn = 4. };
+      { A.robot = 0; left = 200.; turn = 400. };
+    ]
+  in
+  match Ind.classify ivs ~k:3 ~demand:4 ~mu:2. ~c:50. with
+  | Ind.Case2 { window = lo, hi; reduced_k; reduced_demand; rescale; _ } ->
+      checkf "window lo = mu t'" 4. lo;
+      checkf "window hi = c t'" 100. hi;
+      check_int "k - 1" 2 reduced_k;
+      check_int "q - 1" 3 reduced_demand;
+      checkf "rescale to 1" 4. rescale
+  | Ind.Case1 _ -> Alcotest.fail "expected Case 2"
+
+let test_ind_verify_reduction_on_real_strategy () =
+  (* force a small c so some consecutive pair counts as a jump, then the
+     other robots must (q-1)-fold cover the jump window — which they do,
+     since the full strategy q-fold covers everything *)
+  let ivs, mu, turns = assignment31 () in
+  let c_obs = Ind.observed_c ivs in
+  match Ind.jumps ivs ~c:(c_obs *. 0.99) with
+  | [] -> Alcotest.fail "expected at least the maximal jump"
+  | jump :: _ -> (
+      match Ind.verify_reduction ~turns ~jump ~mu ~demand:4 with
+      | Sweep.Covered -> ()
+      | Sweep.Gap { at; _ } -> Alcotest.failf "reduced coverage gap at %g" at)
+
+let test_ind_epsilon' () =
+  check_bool "positive induction gap" true (Ind.epsilon' ~q:6 ~k:4 > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let prop_krt_expected_between_1_and_9 =
+  QCheck2.Test.make ~count:40 ~name:"randomized expected ratio in (1, 9)"
+    QCheck2.Gen.(pair (float_range 2. 6.) (float_range 2. 200.))
+    (fun (beta, x) ->
+      let r = R.expected_ratio_exact ~beta ~x ~grid:200 in
+      1. < r && r < 12.)
+
+let prop_ws_work_additive =
+  (* total work after i moves equals the sum of star-metric distances *)
+  QCheck2.Test.make ~count:50 ~name:"work accumulates star distances"
+    QCheck2.Gen.(list_size (int_range 1 10) (pair (int_range 0 1) (float_range 0.5 20.)))
+    (fun specs ->
+      let w = W.rays 2 in
+      let arr = Array.of_list specs in
+      let n = Array.length arr in
+      let sched =
+        WS.make ~world:w ~robots:1 (fun i ->
+            let ray, dist = arr.((i - 1) mod n) in
+            { WS.robot = 0; target = W.point w ~ray ~dist })
+      in
+      (* compute expected work for the full first cycle by folding *)
+      let expected, _ =
+        Array.fold_left
+          (fun (acc, pos) (ray, dist) ->
+            let p = W.point w ~ray ~dist in
+            (acc +. W.travel_distance pos p, p))
+          (0., W.origin) arr
+      in
+      (* an unreachable target forces the walk through all n moves *)
+      match
+        WS.work_to_visit sched
+          ~target:(W.point w ~ray:0 ~dist:1e9)
+          ~work_budget:expected
+      with
+      | None -> true (* consumed exactly the budget without finding it *)
+      | Some _ -> false)
+
+let prop_tc_ratio_ge_plain =
+  QCheck2.Test.make ~count:30 ~name:"turn cost never decreases the ratio"
+    QCheck2.Gen.(pair (float_range 1.5 3.5) (float_range 0. 4.))
+    (fun (alpha, c) ->
+      let tr =
+        [| Tr.compile (Search_strategy.Line_zigzag.itinerary
+                         (Search_strategy.Turning.geometric ~alpha ())) |]
+      in
+      let plain = TC.worst_ratio tr ~f:0 ~turn_cost:0. ~n:50. () in
+      let charged = TC.worst_ratio tr ~f:0 ~turn_cost:c ~n:50. () in
+      charged >= plain -. 1e-9)
+
+let prop_st_quotient_bounded_by_worst_case =
+  (* the Beck quotient of any distribution never exceeds the worst-case
+     competitive ratio over its support range *)
+  QCheck2.Test.make ~count:20 ~name:"E T / E d <= sup ratio"
+    QCheck2.Gen.(pair (float_range 2. 50.) (int_range 3 30))
+    (fun (hi, cells) ->
+      let tr = [| cow () |] in
+      let d = St.uniform_line ~cells ~lo:1. ~hi in
+      let q = St.beck_quotient tr ~f:0 d ~horizon:1e4 in
+      q <= 9.0 +. 1e-6)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_krt_expected_between_1_and_9;
+      prop_ws_work_additive;
+      prop_tc_ratio_ge_plain;
+      prop_st_quotient_bounded_by_worst_case;
+    ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "extensions"
+    [
+      ( "prng",
+        [
+          tc "deterministic" `Quick test_prng_deterministic;
+          tc "float range" `Quick test_prng_float_range;
+          tc "uniformity" `Quick test_prng_uniformity;
+          tc "int bound" `Quick test_prng_int_bound;
+          tc "split" `Quick test_prng_split_independent;
+        ] );
+      ( "csv",
+        [
+          tc "escape" `Quick test_csv_escape;
+          tc "write roundtrip" `Quick test_csv_write_roundtrip;
+          tc "arity" `Quick test_csv_arity;
+        ] );
+      ( "randomized",
+        [
+          tc "optimal beta" `Quick test_krt_optimal_beta;
+          tc "formula at optimum" `Quick test_krt_formula_at_optimum;
+          tc "beats deterministic" `Quick test_krt_beats_deterministic;
+          tc "concrete detection times" `Quick test_krt_detection_time_concrete;
+          tc "quadrature matches formula" `Quick test_krt_quadrature_matches_formula;
+          tc "monte carlo agrees" `Quick test_krt_monte_carlo_agrees;
+        ] );
+      ( "work_schedule",
+        [
+          tc "single-robot anchor" `Quick test_ws_single_robot_anchor;
+          tc "concrete work" `Quick test_ws_work_to_visit_concrete;
+          tc "budget exhaustion" `Quick test_ws_budget_exhaustion;
+          tc "more robots help" `Quick test_ws_more_robots_help;
+          tc "sequential beats parallel-charged" `Quick
+            test_ws_sequential_beats_parallel_charged;
+          tc "validation" `Quick test_ws_validation;
+        ] );
+      ( "turn_cost",
+        [
+          tc "reversal count" `Quick test_tc_reversal_count;
+          tc "c=0 matches engine" `Quick test_tc_zero_cost_matches_engine;
+          tc "monotone in c" `Quick test_tc_cost_monotone_in_c;
+          tc "bases converge at high c" `Quick test_tc_bases_converge_at_high_c;
+          tc "origin charging" `Quick test_tc_origin_charging;
+        ] );
+      ( "stochastic",
+        [
+          tc "validation" `Quick test_st_distribution_validation;
+          tc "expected distance" `Quick test_st_expected_distance;
+          tc "point mass" `Quick test_st_point_mass_matches_engine;
+          tc "beck quotient" `Quick test_st_beck_quotient_below_worst_case;
+          tc "sided sweep" `Quick test_st_sided_sweep_beats_doubling_on_known_dist;
+          tc "undetectable" `Quick test_st_undetectable_is_infinite;
+        ] );
+      ( "induction",
+        [
+          tc "exponential is Case 1" `Quick test_ind_exponential_is_case1;
+          tc "detects jumps" `Quick test_ind_detects_jumps;
+          tc "Case 2 reduction shape" `Quick test_ind_case2_reduction_shape;
+          tc "reduction verified on real strategy" `Quick
+            test_ind_verify_reduction_on_real_strategy;
+          tc "epsilon'" `Quick test_ind_epsilon';
+        ] );
+      ("properties", properties);
+    ]
