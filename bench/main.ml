@@ -5,13 +5,36 @@
    The paper is pure theory and has no numbered tables or figures; the
    experiment identifiers T1-T7 (tables) and F1-F5 (figure-like series)
    are defined in DESIGN.md and each corresponds to one quantitative
-   claim of the paper. *)
+   claim of the paper.
+
+   The grid rows, λ-sweeps and stochastic trials are embarrassingly
+   parallel, so they run on a faulty_search.exec domain pool ([--jobs N],
+   default the recommended domain count).  Determinism contract: rows are
+   re-assembled in input order and stochastic shards carry split PRNGs,
+   so the tables are byte-identical at every job count; only the
+   wall-clock numbers (the MICRO section and results/bench_timings.json)
+   vary. *)
 
 module FS = Faulty_search
 module T = FS.Table
+module Pool = FS.Pool
+module Par = FS.Par
 
 let section id title =
   Printf.printf "\n=== %s: %s ===\n\n" id title
+
+(* closed-form bounds show up in several tables; memoise them in a
+   domain-safe cache keyed by the instance *)
+let bound_cache : (int * int * int, float) FS.Memo.t = FS.Memo.create ()
+
+let a_mray ~m ~k ~f =
+  FS.Memo.find_or_add bound_cache (m, k, f) (fun () ->
+      FS.Formulas.a_mray ~m ~k ~f)
+
+let line_cache : (int * int, float) FS.Memo.t = FS.Memo.create ()
+
+let a_line ~k ~f =
+  FS.Memo.find_or_add line_cache (k, f) (fun () -> FS.Formulas.a_line ~k ~f)
 
 let simulate_ratio ?alpha ~m ~k ~f ~n () =
   let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
@@ -22,7 +45,7 @@ let simulate_ratio ?alpha ~m ~k ~f ~n () =
 (* ------------------------------------------------------------------ *)
 (* T1 — Theorem 1: A(k, f) on the line.                               *)
 
-let t1_line_ratio () =
+let t1_line_ratio pool =
   section "T1" "Theorem 1: tight competitive ratio A(k, f) on the line";
   let tbl =
     T.create
@@ -34,10 +57,10 @@ let t1_line_ratio () =
       ]
   in
   let n = 2000. in
-  List.iter
-    (fun (k, f) ->
+  Par.parallel_map pool
+    ~f:(fun (k, f) ->
       let p = FS.Params.line ~k ~f in
-      let bound = FS.Formulas.a_line ~k ~f in
+      let bound = a_line ~k ~f in
       let simulated = simulate_ratio ~m:2 ~k ~f ~n () in
       let exact =
         let problem = FS.Problem.make ~m:2 ~k ~f ~horizon:n () in
@@ -62,14 +85,14 @@ let t1_line_ratio () =
             "yes"
         | FS.Certificate.Not_refuted _ | FS.Certificate.Inconclusive _ -> "NO"
       in
-      T.add_row tbl
-        [
-          T.cell_i k; T.cell_i f; T.cell_i s;
-          T.cell_f ~decimals:4 (FS.Params.rho p);
-          T.cell_f ~decimals:6 bound; T.cell_f ~decimals:6 simulated;
-          T.cell_f ~decimals:6 exact; covering; refuted;
-        ])
-    [ (1, 0); (2, 1); (3, 1); (3, 2); (4, 2); (5, 2); (4, 3); (5, 3); (6, 3); (7, 4) ];
+      [
+        T.cell_i k; T.cell_i f; T.cell_i s;
+        T.cell_f ~decimals:4 (FS.Params.rho p);
+        T.cell_f ~decimals:6 bound; T.cell_f ~decimals:6 simulated;
+        T.cell_f ~decimals:6 exact; covering; refuted;
+      ])
+    [ (1, 0); (2, 1); (3, 1); (3, 2); (4, 2); (5, 2); (4, 3); (5, 3); (6, 3); (7, 4) ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   print_endline
     "shape check: simulated <= formula everywhere, equality approached;\n\
@@ -130,7 +153,7 @@ let f1_rho_curve () =
 (* ------------------------------------------------------------------ *)
 (* T3 — Theorem 6: A(m, k, f) on m rays.                              *)
 
-let t3_mray_ratio () =
+let t3_mray_ratio pool =
   section "T3" "Theorem 6: A(m, k, f) on m rays";
   let tbl =
     T.create
@@ -141,10 +164,10 @@ let t3_mray_ratio () =
       ]
   in
   let n = 500. in
-  List.iter
-    (fun (m, k, f) ->
+  Par.parallel_map pool
+    ~f:(fun (m, k, f) ->
       let p = FS.Params.make ~m ~k ~f in
-      let bound = FS.Formulas.a_mray ~m ~k ~f in
+      let bound = a_mray ~m ~k ~f in
       let simulated = simulate_ratio ~m ~k ~f ~n () in
       let strat = FS.Mray_exponential.make p in
       let turns = FS.Orc_cover.of_mray_group strat in
@@ -160,22 +183,22 @@ let t3_mray_ratio () =
         if FS.Mray_exponential.coverage_theorem_holds strat then "exact (f+1)-fold"
         else "VIOLATED"
       in
-      T.add_row tbl
-        [
-          T.cell_i m; T.cell_i k; T.cell_i f; T.cell_i q;
-          T.cell_f ~decimals:6 bound; T.cell_f ~decimals:6 simulated; covering;
-          theorem;
-        ])
+      [
+        T.cell_i m; T.cell_i k; T.cell_i f; T.cell_i q;
+        T.cell_f ~decimals:6 bound; T.cell_f ~decimals:6 simulated; covering;
+        theorem;
+      ])
     [
       (3, 1, 0); (3, 2, 0); (3, 2, 1); (3, 4, 1); (4, 3, 0); (4, 3, 1);
       (4, 2, 0); (5, 4, 0); (5, 3, 1); (6, 5, 0);
-    ];
+    ]
+  |> List.iter (T.add_row tbl);
   T.print tbl
 
 (* ------------------------------------------------------------------ *)
 (* T4 — f = 0: the resolved open question on parallel ray search.     *)
 
-let t4_parallel_rays () =
+let t4_parallel_rays pool =
   section "T4"
     "f = 0: optimal parallel search on m rays (open since Baeza-Yates et \
      al.; cyclic-only bound by Bernstein et al.)";
@@ -191,7 +214,7 @@ let t4_parallel_rays () =
         :: List.map
              (fun k ->
                if k >= m then "1"
-               else T.cell_f ~decimals:4 (FS.Formulas.a_mray ~m ~k ~f:0))
+               else T.cell_f ~decimals:4 (a_mray ~m ~k ~f:0))
              [ 1; 2; 3; 4; 5 ]
       in
       T.add_row tbl row)
@@ -206,26 +229,26 @@ let t4_parallel_rays () =
         ("cyclic simulated", T.Right);
       ]
   in
-  List.iter
-    (fun (m, k) ->
+  Par.parallel_map pool
+    ~f:(fun (m, k) ->
       let trs =
         Array.map FS.Trajectory.compile (FS.Cyclic.itineraries ~m ~k ())
       in
       let out = FS.Adversary.worst_case trs ~f:0 ~n:400. () in
-      T.add_row tbl2
-        [
-          T.cell_i m; T.cell_i k;
-          T.cell_f ~decimals:6 (FS.Formulas.a_mray ~m ~k ~f:0);
-          T.cell_f ~decimals:6 out.FS.Adversary.ratio;
-        ])
-    [ (3, 2); (4, 2); (4, 3); (5, 3); (6, 4) ];
+      [
+        T.cell_i m; T.cell_i k;
+        T.cell_f ~decimals:6 (a_mray ~m ~k ~f:0);
+        T.cell_f ~decimals:6 out.FS.Adversary.ratio;
+      ])
+    [ (3, 2); (4, 2); (4, 3); (5, 3); (6, 4) ]
+  |> List.iter (T.add_row tbl2);
   print_endline "";
   T.print tbl2
 
 (* ------------------------------------------------------------------ *)
 (* F2 — ratio vs alpha, minimum at alpha*.                            *)
 
-let f2_alpha_sweep () =
+let f2_alpha_sweep pool =
   section "F2" "exponential strategy: ratio vs base alpha (appendix optimum)";
   List.iter
     (fun (m, k, f) ->
@@ -239,18 +262,20 @@ let f2_alpha_sweep () =
             ("alpha", T.Right); ("predicted", T.Right); ("simulated", T.Right);
           ]
       in
-      for i = 0 to 8 do
-        let alpha = a_star *. (0.75 +. (0.5 *. float_of_int i /. 8.)) in
-        if alpha > 1.01 then begin
-          let predicted = FS.Formulas.exponential_ratio ~q ~k ~alpha in
-          let simulated = simulate_ratio ~alpha ~m ~k ~f ~n:400. () in
-          T.add_row tbl
-            [
-              T.cell_f ~decimals:4 alpha; T.cell_f ~decimals:4 predicted;
-              T.cell_f ~decimals:4 simulated;
-            ]
-        end
-      done;
+      Par.parallel_map pool
+        ~f:(fun i ->
+          let alpha = a_star *. (0.75 +. (0.5 *. float_of_int i /. 8.)) in
+          if alpha > 1.01 then
+            let predicted = FS.Formulas.exponential_ratio ~q ~k ~alpha in
+            let simulated = simulate_ratio ~alpha ~m ~k ~f ~n:400. () in
+            Some
+              [
+                T.cell_f ~decimals:4 alpha; T.cell_f ~decimals:4 predicted;
+                T.cell_f ~decimals:4 simulated;
+              ]
+          else None)
+        (List.init 9 Fun.id)
+      |> List.iter (Option.iter (T.add_row tbl));
       T.print tbl;
       (* numeric minimisation of the simulated ratio recovers alpha* *)
       let argmin, _ =
@@ -384,34 +409,37 @@ let f3_potential_growth () =
 (* ------------------------------------------------------------------ *)
 (* T5 — the fractional relaxation C(eta).                             *)
 
-let t5_fractional () =
+let t5_fractional pool =
   section "T5" "fractional one-ray retrieval: C(eta) via rational approximation (eq. 11)";
-  List.iter
-    (fun eta ->
+  Par.parallel_map pool
+    ~f:(fun eta ->
       let limit = FS.Fractional.c_eta eta in
-      Printf.printf "eta = %.6f: C(eta) = %.6f\n" eta limit;
-      let tbl =
-        T.create
-          [
-            ("q_i/k_i", T.Left); ("value", T.Right);
-            ("lambda0(q_i,k_i)", T.Right); ("excess over C(eta)", T.Right);
-          ]
-      in
-      List.iter
-        (fun (r, v) ->
-          T.add_row tbl
-            [
-              Format.asprintf "%a" FS.Rational.pp r;
-              T.cell_f ~decimals:6 (FS.Rational.to_float r);
-              T.cell_f ~decimals:6 v;
-              T.cell_f ~decimals:6 (v -. limit);
-            ])
-        (FS.Fractional.upper_approximations ~eta ~count:7);
-      T.print tbl;
-      Printf.printf "lower bound at eps=1e-3: %.6f (deficit %.6f)\n\n"
-        (FS.Fractional.lower_bound_eps ~eta ~eps:1e-3)
-        (limit -. FS.Fractional.lower_bound_eps ~eta ~eps:1e-3))
+      let approximations = FS.Fractional.upper_approximations ~eta ~count:7 in
+      let lower = FS.Fractional.lower_bound_eps ~eta ~eps:1e-3 in
+      (eta, limit, approximations, lower))
     [ 1.5; 2.0; Float.exp 1.; 3.7 ]
+  |> List.iter (fun (eta, limit, approximations, lower) ->
+         Printf.printf "eta = %.6f: C(eta) = %.6f\n" eta limit;
+         let tbl =
+           T.create
+             [
+               ("q_i/k_i", T.Left); ("value", T.Right);
+               ("lambda0(q_i,k_i)", T.Right); ("excess over C(eta)", T.Right);
+             ]
+         in
+         List.iter
+           (fun (r, v) ->
+             T.add_row tbl
+               [
+                 Format.asprintf "%a" FS.Rational.pp r;
+                 T.cell_f ~decimals:6 (FS.Rational.to_float r);
+                 T.cell_f ~decimals:6 v;
+                 T.cell_f ~decimals:6 (v -. limit);
+               ])
+           approximations;
+         T.print tbl;
+         Printf.printf "lower bound at eps=1e-3: %.6f (deficit %.6f)\n\n" lower
+           (limit -. lower))
 
 (* ------------------------------------------------------------------ *)
 (* T6 — phase diagram of the regimes.                                 *)
@@ -437,7 +465,7 @@ let t6_phase () =
                    | FS.Params.Unsolvable -> "x"
                    | FS.Params.Ratio_one -> "1"
                    | FS.Params.Searching ->
-                       T.cell_f ~decimals:2 (FS.Formulas.a_mray ~m ~k ~f))
+                       T.cell_f ~decimals:2 (a_mray ~m ~k ~f))
                [ 0; 1; 2; 3 ]
         in
         T.add_row tbl row
@@ -449,7 +477,7 @@ let t6_phase () =
 (* ------------------------------------------------------------------ *)
 (* T7 — classical baselines as special cases.                         *)
 
-let t7_classics () =
+let t7_classics pool =
   section "T7" "classical anchors: single-robot search and baseline comparisons";
   let tbl =
     T.create
@@ -458,17 +486,17 @@ let t7_classics () =
         ("simulated", T.Right);
       ]
   in
-  List.iter
-    (fun m ->
+  Par.parallel_map pool
+    ~f:(fun m ->
       let tr = [| FS.Trajectory.compile (FS.Cyclic.single_robot ~m ()) |] in
       let out = FS.Adversary.worst_case tr ~f:0 ~n:400. () in
-      T.add_row tbl
-        [
-          T.cell_i m;
-          T.cell_f ~decimals:5 (FS.Formulas.single_robot_mray ~m);
-          T.cell_f ~decimals:5 out.FS.Adversary.ratio;
-        ])
-    [ 2; 3; 4; 5; 6 ];
+      [
+        T.cell_i m;
+        T.cell_f ~decimals:5 (FS.Formulas.single_robot_mray ~m);
+        T.cell_f ~decimals:5 out.FS.Adversary.ratio;
+      ])
+    [ 2; 3; 4; 5; 6 ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   (* baselines vs optimal on the line with faults *)
   print_endline "";
@@ -479,8 +507,8 @@ let t7_classics () =
         ("optimal exponential", T.Right); ("theory", T.Right);
       ]
   in
-  List.iter
-    (fun (k, f) ->
+  Par.parallel_map pool
+    ~f:(fun (k, f) ->
       let naive =
         Array.map FS.Trajectory.compile (FS.Baseline.replicated_doubling ~k)
       in
@@ -488,14 +516,14 @@ let t7_classics () =
         (FS.Adversary.worst_case naive ~f ~n:500. ()).FS.Adversary.ratio
       in
       let optimal = simulate_ratio ~m:2 ~k ~f ~n:500. () in
-      T.add_row tbl2
-        [
-          Printf.sprintf "k=%d f=%d" k f;
-          T.cell_f ~decimals:4 naive_ratio;
-          T.cell_f ~decimals:4 optimal;
-          T.cell_f ~decimals:4 (FS.Formulas.a_line ~k ~f);
-        ])
-    [ (3, 1); (5, 2); (7, 3) ];
+      [
+        Printf.sprintf "k=%d f=%d" k f;
+        T.cell_f ~decimals:4 naive_ratio;
+        T.cell_f ~decimals:4 optimal;
+        T.cell_f ~decimals:4 (a_line ~k ~f);
+      ])
+    [ (3, 1); (5, 2); (7, 3) ]
+  |> List.iter (T.add_row tbl2);
   T.print tbl2;
   print_endline
     "shape check: replication is stuck at 9; the optimal strategy beats it\n\
@@ -504,7 +532,7 @@ let t7_classics () =
 (* ------------------------------------------------------------------ *)
 (* F4 — horizon convergence of the simulated supremum.                *)
 
-let f4_horizon () =
+let f4_horizon pool =
   section "F4" "finite-horizon sup-ratio converges to the bound from below";
   let tbl =
     T.create
@@ -513,27 +541,25 @@ let f4_horizon () =
         ("bound - sup", T.Right);
       ]
   in
-  List.iter
-    (fun (m, k, f) ->
-      let bound = FS.Formulas.a_mray ~m ~k ~f in
-      List.iter
-        (fun n ->
-          let r = simulate_ratio ~m ~k ~f ~n () in
-          T.add_row tbl
-            [
-              Printf.sprintf "m=%d k=%d f=%d" m k f;
-              Printf.sprintf "%.0e" n;
-              T.cell_f ~decimals:6 r;
-              Printf.sprintf "%.2e" (bound -. r);
-            ])
-        [ 1e2; 1e3; 1e4; 1e5 ])
-    [ (2, 3, 1); (3, 2, 0) ];
+  (* the (instance, horizon) grid flattened row-major: the long-horizon
+     points dominate the suite's sequential wall-clock *)
+  FS.Shard.grid2 [ (2, 3, 1); (3, 2, 0) ] [ 1e2; 1e3; 1e4; 1e5 ]
+  |> Par.parallel_map pool ~f:(fun ((m, k, f), n) ->
+         let bound = a_mray ~m ~k ~f in
+         let r = simulate_ratio ~m ~k ~f ~n () in
+         [
+           Printf.sprintf "m=%d k=%d f=%d" m k f;
+           Printf.sprintf "%.0e" n;
+           T.cell_f ~decimals:6 r;
+           Printf.sprintf "%.2e" (bound -. r);
+         ])
+  |> List.iter (T.add_row tbl);
   T.print tbl
 
 (* ------------------------------------------------------------------ *)
 (* F5 — the coverage threshold equals the bound.                      *)
 
-let f5_threshold () =
+let f5_threshold pool =
   section "F5"
     "bisection: the lambda at which the optimal strategy's covering kicks \
      in equals lambda0";
@@ -544,8 +570,8 @@ let f5_threshold () =
         ("coverage threshold", T.Right); ("difference", T.Right);
       ]
   in
-  List.iter
-    (fun (k, f) ->
+  Par.parallel_map pool
+    ~f:(fun (k, f) ->
       let p = FS.Params.line ~k ~f in
       let lam0 = FS.Formulas.of_params p in
       let turns = FS.Orc_cover.of_mray_group (FS.Mray_exponential.make p) in
@@ -558,19 +584,19 @@ let f5_threshold () =
         FS.Certificate.coverage_threshold_lambda ~check ~lo:(0.5 *. lam0)
           ~hi:(lam0 +. 1.) ()
       in
-      T.add_row tbl
-        [
-          T.cell_i k; T.cell_i f; T.cell_f ~decimals:6 lam0;
-          T.cell_f ~decimals:6 thr;
-          Printf.sprintf "%.2e" (Float.abs (thr -. lam0));
-        ])
-    [ (1, 0); (3, 1); (3, 2); (5, 3); (5, 2) ];
+      [
+        T.cell_i k; T.cell_i f; T.cell_f ~decimals:6 lam0;
+        T.cell_f ~decimals:6 thr;
+        Printf.sprintf "%.2e" (Float.abs (thr -. lam0));
+      ])
+    [ (1, 0); (3, 1); (3, 2); (5, 3); (5, 2) ]
+  |> List.iter (T.add_row tbl);
   T.print tbl
 
 (* ------------------------------------------------------------------ *)
 (* F6 — the eps-N trade-off: how far one can cover below the bound.    *)
 
-let f6_eps_n_tradeoff () =
+let f6_eps_n_tradeoff pool =
   section "F6"
     "the eps-N trade-off of inequality (12): optimal finite coverage vs \
      the theoretical cap, single robot on the line";
@@ -582,23 +608,23 @@ let f6_eps_n_tradeoff () =
         ("discriminant", T.Right);
       ]
   in
-  List.iter
-    (fun lambda ->
+  Par.parallel_map pool
+    ~f:(fun lambda ->
       let r = FS.Frontier.line_single ~lambda in
       let cap =
         FS.Certificate.log_horizon_bound FS.Assigned.Line_symmetric ~k:1
           ~demand:1 ~lambda ()
       in
-      T.add_row tbl
-        [
-          T.cell_f ~decimals:3 lambda;
-          T.cell_i r.FS.Frontier.steps;
-          Printf.sprintf "%.4g" r.FS.Frontier.horizon;
-          T.cell_f ~decimals:3 (log r.FS.Frontier.horizon);
-          T.cell_f ~decimals:2 cap;
-          T.cell_f ~decimals:4 (FS.Frontier.characteristic_discriminant ~lambda);
-        ])
-    [ 5.0; 6.0; 7.0; 8.0; 8.5; 8.9; 8.99; 8.999 ];
+      [
+        T.cell_f ~decimals:3 lambda;
+        T.cell_i r.FS.Frontier.steps;
+        Printf.sprintf "%.4g" r.FS.Frontier.horizon;
+        T.cell_f ~decimals:3 (log r.FS.Frontier.horizon);
+        T.cell_f ~decimals:2 cap;
+        T.cell_f ~decimals:4 (FS.Frontier.characteristic_discriminant ~lambda);
+      ])
+    [ 5.0; 6.0; 7.0; 8.0; 8.5; 8.9; 8.99; 8.999 ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   print_endline
     "shape: both columns diverge as lambda -> 9 (the discriminant of the\n\
@@ -613,28 +639,28 @@ let f6_eps_n_tradeoff () =
         ("reach N*", T.Right); ("ln N_max (theory)", T.Right);
       ]
   in
-  List.iter
-    (fun lambda ->
+  Par.parallel_map pool
+    ~f:(fun lambda ->
       let r = FS.Frontier.multi ~lambda ~k:3 ~demand:1 () in
       let cap =
         FS.Certificate.log_horizon_bound FS.Assigned.Line_symmetric ~k:3
           ~demand:1 ~lambda ()
       in
-      T.add_row tbl2
-        [
-          T.cell_f ~decimals:3 lambda;
-          T.cell_i r.FS.Frontier.steps;
-          Printf.sprintf "%.4g" r.FS.Frontier.horizon;
-          T.cell_f ~decimals:2 cap;
-        ])
-    [ 4.0; 4.5; 5.0; 5.2; 5.23 ];
+      [
+        T.cell_f ~decimals:3 lambda;
+        T.cell_i r.FS.Frontier.steps;
+        Printf.sprintf "%.4g" r.FS.Frontier.horizon;
+        T.cell_f ~decimals:2 cap;
+      ])
+    [ 4.0; 4.5; 5.0; 5.2; 5.23 ]
+  |> List.iter (T.add_row tbl2);
   print_endline "";
   T.print tbl2
 
 (* ------------------------------------------------------------------ *)
 (* X1 — the distance measure (Kao-Ma-Sipser-Yin, Section 3 remark).    *)
 
-let x1_distance_measure () =
+let x1_distance_measure pool =
   section "X1"
     "distance measure D/d: sequential schedules vs parallel strategies \
      charged by distance (Section 3 remark on [20])";
@@ -657,8 +683,8 @@ let x1_distance_measure () =
         ("alpha", T.Right); ("parallel time-optimal charged k*T/d", T.Right);
       ]
   in
-  List.iter
-    (fun k ->
+  Par.parallel_map pool
+    ~f:(fun k ->
       let seq, alpha = best_sequential k in
       let parallel =
         if k >= m then "1 per robot"
@@ -667,12 +693,12 @@ let x1_distance_measure () =
           let trs = FS.Group.trajectories (FS.Group.optimal p) in
           T.cell_f ~decimals:4 (FS.Work_schedule.parallel_charged trs ~f:0 ~n)
       in
-      T.add_row tbl
-        [
-          T.cell_i k; T.cell_f ~decimals:4 seq; T.cell_f ~decimals:3 alpha;
-          parallel;
-        ])
-    [ 1; 2; 3 ];
+      [
+        T.cell_i k; T.cell_f ~decimals:4 seq; T.cell_f ~decimals:3 alpha;
+        parallel;
+      ])
+    [ 1; 2; 3 ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   Printf.printf
     "anchor: k=1 sequential equals the single-robot time bound %.4f;\n\
@@ -685,7 +711,24 @@ let x1_distance_measure () =
 (* ------------------------------------------------------------------ *)
 (* X2 — randomized cow path (Kao-Reif-Tate, cited as [21]).            *)
 
-let x2_randomized () =
+(* The Monte-Carlo trials are the stochastic face of the determinism
+   contract: per beta, a fixed 16-shard decomposition of 4096 trials,
+   each shard drawing from its own split-PRNG leaf, partial means folded
+   in shard order — bit-identical at any --jobs count.  (Nested
+   fan-out: the betas themselves are pool tasks.) *)
+let x2_mc_shards = 16
+let x2_mc_samples_per_shard = 256
+
+let x2_mc_estimate pool ~prng ~beta ~x =
+  Par.parallel_map pool
+    ~f:(fun g ->
+      FS.Randomized.expected_ratio_at ~beta ~x
+        ~samples:x2_mc_samples_per_shard ~prng:g)
+    (Array.to_list (FS.Shard.prngs ~root:prng ~n:x2_mc_shards))
+  |> List.fold_left ( +. ) 0.
+  |> fun sum -> sum /. float_of_int x2_mc_shards
+
+let x2_randomized pool =
   section "X2" "randomized single-robot line search (cited as [21])";
   let beta_star = FS.Randomized.optimal_beta () in
   Printf.printf
@@ -698,27 +741,30 @@ let x2_randomized () =
       [
         ("beta", T.Right); ("formula r(beta)", T.Right);
         ("quadrature E[T]/x at x=500", T.Right);
+        ("MC 4096 trials (sharded)", T.Right);
       ]
   in
-  List.iter
-    (fun beta ->
+  FS.Shard.sharded_map pool ~root:(FS.Prng.make ~seed:20180723)
+    ~f:(fun ~prng beta ->
       let formula = FS.Randomized.ratio_formula ~beta in
       let measured = FS.Randomized.expected_ratio_exact ~beta ~x:500. ~grid:1200 in
-      T.add_row tbl
-        [
-          T.cell_f ~decimals:4 beta; T.cell_f ~decimals:5 formula;
-          T.cell_f ~decimals:5 measured;
-        ])
-    [ 2.0; 2.8; 3.2; beta_star; 4.0; 5.0; 6.0 ];
+      let mc = x2_mc_estimate pool ~prng ~beta ~x:500. in
+      [
+        T.cell_f ~decimals:4 beta; T.cell_f ~decimals:5 formula;
+        T.cell_f ~decimals:5 measured; T.cell_f ~decimals:5 mc;
+      ])
+    [ 2.0; 2.8; 3.2; beta_star; 4.0; 5.0; 6.0 ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   print_endline
     "(the quadrature sits ~2 beta/(x ln beta) below the asymptotic formula\n\
-     at finite x; the minimum is at beta* in both columns)"
+     at finite x; the minimum is at beta* in both columns; the sharded\n\
+     Monte-Carlo column is bit-identical at any --jobs count)"
 
 (* ------------------------------------------------------------------ *)
 (* X3 — turn-cost ablation (Demaine-Fekete-Gal, cited as [15]).        *)
 
-let x3_turn_cost () =
+let x3_turn_cost pool =
   section "X3" "turn-cost ablation: worst ratio vs per-reversal cost c";
   let zig alpha =
     [|
@@ -733,17 +779,17 @@ let x3_turn_cost () =
           (fun a -> (Printf.sprintf "base %.1f" a, T.Right))
           [ 2.0; 3.0; 4.0 ])
   in
-  List.iter
-    (fun c ->
-      T.add_row tbl
-        (T.cell_f ~decimals:1 c
-        :: List.map
-             (fun alpha ->
-               T.cell_f ~decimals:3
-                 (FS.Turn_cost.worst_ratio (zig alpha) ~f:0 ~turn_cost:c
-                    ~n:200. ()))
-             [ 2.0; 3.0; 4.0 ]))
-    [ 0.; 0.5; 1.; 2.; 5.; 10.; 20. ];
+  Par.parallel_map pool
+    ~f:(fun c ->
+      T.cell_f ~decimals:1 c
+      :: List.map
+           (fun alpha ->
+             T.cell_f ~decimals:3
+               (FS.Turn_cost.worst_ratio (zig alpha) ~f:0 ~turn_cost:c
+                  ~n:200. ()))
+           [ 2.0; 3.0; 4.0 ])
+    [ 0.; 0.5; 1.; 2.; 5.; 10.; 20. ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   print_endline
     "shape: ratios grow with c; the doubling base's advantage shrinks as c\n\
@@ -752,7 +798,7 @@ let x3_turn_cost () =
 (* ------------------------------------------------------------------ *)
 (* X4 — stochastic targets (the Bellman-Beck origin).                  *)
 
-let x4_stochastic () =
+let x4_stochastic pool =
   section "X4" "stochastic targets: Beck quotients E[T]/E[|d|]";
   let cow = [| FS.Trajectory.compile (FS.Cyclic.doubling_cow ()) |] in
   let tbl =
@@ -762,22 +808,22 @@ let x4_stochastic () =
         ("doubling E[T]/E|d|", T.Right); ("sided sweep (knows dist)", T.Right);
       ]
   in
-  List.iter
-    (fun (name, d) ->
-      T.add_row tbl
-        [
-          name;
-          T.cell_f ~decimals:3 (FS.Stochastic.expected_distance d);
-          T.cell_f ~decimals:4 (FS.Stochastic.beck_quotient cow ~f:0 d ~horizon:1e5);
-          T.cell_f ~decimals:4 (FS.Stochastic.best_sided_sweep d);
-        ])
+  Par.parallel_map pool
+    ~f:(fun (name, d) ->
+      [
+        name;
+        T.cell_f ~decimals:3 (FS.Stochastic.expected_distance d);
+        T.cell_f ~decimals:4 (FS.Stochastic.beck_quotient cow ~f:0 d ~horizon:1e5);
+        T.cell_f ~decimals:4 (FS.Stochastic.best_sided_sweep d);
+      ])
     [
       ("uniform [1, 10]", FS.Stochastic.uniform_line ~cells:64 ~lo:1. ~hi:10.);
       ("uniform [1, 100]", FS.Stochastic.uniform_line ~cells:64 ~lo:1. ~hi:100.);
       ("uniform [1, 1000]", FS.Stochastic.uniform_line ~cells:64 ~lo:1. ~hi:1000.);
       ("geometric r=2, 10 terms", FS.Stochastic.geometric_line ~ratio:2. ~terms:10 ~lo:1.);
       ("point mass at 17", FS.Stochastic.point_mass (FS.World.point FS.World.line ~ray:0 ~dist:17.));
-    ];
+    ]
+  |> List.iter (T.add_row tbl);
   T.print tbl;
   print_endline
     "shape: the worst-case-optimal doubling stays well under 9 in\n\
@@ -860,7 +906,7 @@ let x5_induction () =
 (* ------------------------------------------------------------------ *)
 (* CSV series for the figure-shaped experiments.                       *)
 
-let write_csv_series () =
+let write_csv_series pool =
   let dir = "results" in
   (* F1 *)
   let rows =
@@ -884,8 +930,8 @@ let write_csv_series () =
     ~header:[ "alpha"; "ratio" ] ~rows;
   (* F4 *)
   let rows =
-    List.map
-      (fun n ->
+    Par.parallel_map pool
+      ~f:(fun n ->
         let r = simulate_ratio ~m:2 ~k:3 ~f:1 ~n () in
         [ FS.Csv_out.float_cell n; FS.Csv_out.float_cell r ])
       [ 10.; 30.; 100.; 300.; 1000.; 3000.; 10000. ]
@@ -974,29 +1020,51 @@ let micro_benchmarks () =
 
 (* ------------------------------------------------------------------ *)
 
+let timings_path = Filename.concat "results" "bench_timings.json"
+
 let () =
+  let jobs = ref (Pool.default_jobs ()) in
+  Arg.parse
+    [
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  run the experiment grids on N domains (default: the \
+         recommended domain count; tables are byte-identical for any N)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "main.exe [--jobs N]";
+  if !jobs < 1 then begin
+    prerr_endline "main.exe: --jobs must be >= 1";
+    exit 2
+  end;
+  let metrics = FS.Metrics.create ~jobs:!jobs () in
   print_endline
     "Reproduction harness: Kupavskii & Welzl, 'Lower Bounds for Searching\n\
      Robots, some Faulty' (PODC 2018).  One section per experiment of\n\
      EXPERIMENTS.md.";
-  t1_line_ratio ();
-  t2_byzantine ();
-  f1_rho_curve ();
-  t3_mray_ratio ();
-  t4_parallel_rays ();
-  f2_alpha_sweep ();
-  f3_potential_growth ();
-  t5_fractional ();
-  t6_phase ();
-  t7_classics ();
-  f4_horizon ();
-  f5_threshold ();
-  f6_eps_n_tradeoff ();
-  x1_distance_measure ();
-  x2_randomized ();
-  x3_turn_cost ();
-  x4_stochastic ();
-  x5_induction ();
-  write_csv_series ();
-  micro_benchmarks ();
+  Pool.with_pool ~jobs:!jobs (fun pool ->
+      let run id experiment = FS.Metrics.time metrics ~experiment:id experiment in
+      run "T1" (fun () -> t1_line_ratio pool);
+      run "T2" t2_byzantine;
+      run "F1" f1_rho_curve;
+      run "T3" (fun () -> t3_mray_ratio pool);
+      run "T4" (fun () -> t4_parallel_rays pool);
+      run "F2" (fun () -> f2_alpha_sweep pool);
+      run "F3" f3_potential_growth;
+      run "T5" (fun () -> t5_fractional pool);
+      run "T6" t6_phase;
+      run "T7" (fun () -> t7_classics pool);
+      run "F4" (fun () -> f4_horizon pool);
+      run "F5" (fun () -> f5_threshold pool);
+      run "F6" (fun () -> f6_eps_n_tradeoff pool);
+      run "X1" (fun () -> x1_distance_measure pool);
+      run "X2" (fun () -> x2_randomized pool);
+      run "X3" (fun () -> x3_turn_cost pool);
+      run "X4" (fun () -> x4_stochastic pool);
+      run "X5" x5_induction;
+      run "CSV" (fun () -> write_csv_series pool);
+      run "MICRO" micro_benchmarks);
+  FS.Metrics.record metrics ~experiment:"suite" ~seconds:(FS.Metrics.total metrics);
+  FS.Metrics.write metrics ~path:timings_path;
+  Printf.printf "\n(per-experiment wall-clock written to %s)\n" timings_path;
   print_endline "\nall experiments completed."

@@ -98,12 +98,34 @@ let lambda_arg =
   let doc = "Claimed competitive ratio to test." in
   Arg.(required & opt (some float) None & info [ "lambda" ] ~docv:"L" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel paths (default: the machine's \
+     recommended domain count).  Results are identical at any job count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
+let grid_arg =
+  let doc =
+    "Also certify $(docv) evenly spaced lambda values between the claimed \
+     ratio and the theoretical bound, sharded across the domain pool."
+  in
+  Arg.(value & opt (some int) None & info [ "grid" ] ~docv:"C" ~doc)
+
+let check_jobs = function
+  | Some j when j < 1 ->
+      Format.eprintf "--jobs must be at least 1@.";
+      false
+  | _ -> true
+
 let json_out_arg =
   let doc = "Also write the certificate as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let certify_run m k f n lambda json_out =
+let certify_run m k f n lambda json_out jobs grid =
   with_params m k f @@ fun p ->
+  if not (check_jobs jobs) then 1
+  else
   match FS.Params.regime p with
   | FS.Params.Ratio_one | FS.Params.Unsolvable ->
       Format.eprintf "certify: instance not in the searching regime@.";
@@ -113,13 +135,42 @@ let certify_run m k f n lambda json_out =
       let solution = FS.Solve.solve problem in
       let turns = Option.get (FS.Solve.orc_turns solution) in
       let q = FS.Params.q p in
-      let verdict =
-        if m = 2 then FS.Certificate.check_line ~turns ~f ~lambda ~n
-        else FS.Certificate.check_orc ~turns ~demand:q ~lambda ~n
+      let bound = FS.Problem.bound problem in
+      (* the λ-grid (the single claimed λ plus any --grid points) is
+         refuted point-by-point across the domain pool; verdicts come
+         back in input order, so the output does not depend on --jobs *)
+      let lambdas =
+        lambda
+        ::
+        (match grid with
+        | Some c when c > 0 ->
+            FS.Certificate.lambda_grid
+              ~lo:(Float.min lambda bound)
+              ~hi:(Float.max lambda bound)
+              ~count:c
+        | _ -> [])
       in
-      Format.printf "bound:   %.6f@." (FS.Problem.bound problem);
+      let verdicts =
+        if m = 2 then
+          FS.Certificate.check_line_sharded ?jobs ~turns ~f ~lambdas ~n ()
+        else
+          FS.Certificate.check_orc_sharded ?jobs ~turns ~demand:q ~lambdas ~n
+            ()
+      in
+      let verdict = snd (List.hd verdicts) in
+      Format.printf "bound:   %.6f@." bound;
       Format.printf "claimed: %.6f@." lambda;
       Format.printf "verdict: %a@." FS.Certificate.pp_verdict verdict;
+      (match List.tl verdicts with
+      | [] -> ()
+      | grid_verdicts ->
+          Format.printf "lambda grid (%d points):@."
+            (List.length grid_verdicts);
+          List.iter
+            (fun (l, v) ->
+              Format.printf "  lambda = %.6f: %a@." l
+                FS.Certificate.pp_verdict v)
+            grid_verdicts);
       (match json_out with
       | Some path ->
           let setting =
@@ -156,7 +207,7 @@ let certify_cmd =
     (Cmd.info "certify" ~doc)
     Term.(
       const certify_run $ m_arg $ k_arg $ f_arg $ n_arg $ lambda_arg
-      $ json_out_arg)
+      $ json_out_arg $ jobs_arg $ grid_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recheck                                                             *)
@@ -211,8 +262,10 @@ let samples_arg =
   let doc = "Number of sample points." in
   Arg.(value & opt int 9 & info [ "samples" ] ~docv:"S" ~doc)
 
-let sweep_run m k f n samples =
+let sweep_run m k f n samples jobs =
   with_params m k f @@ fun p ->
+  if not (check_jobs jobs) then 1
+  else
   match FS.Params.regime p with
   | FS.Params.Ratio_one | FS.Params.Unsolvable ->
       Format.eprintf "sweep: instance not in the searching regime@.";
@@ -228,23 +281,33 @@ let sweep_run m k f n samples =
           [ ("alpha", FS.Table.Right); ("predicted", FS.Table.Right);
             ("simulated", FS.Table.Right) ]
       in
-      for i = 0 to samples - 1 do
-        let t = float_of_int i /. float_of_int (samples - 1) in
-        let alpha = a_star *. (0.7 +. (0.8 *. t)) in
-        if alpha > 1.001 then begin
-          let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
-          let solution = FS.Solve.solve ~alpha problem in
-          let outcome =
-            FS.Adversary.worst_case (FS.Solve.trajectories solution) ~f ~n ()
-          in
-          FS.Table.add_row tbl
-            [
-              FS.Table.cell_f ~decimals:4 alpha;
-              FS.Table.cell_f ~decimals:4 solution.FS.Solve.designed_ratio;
-              FS.Table.cell_f ~decimals:4 outcome.FS.Adversary.ratio;
-            ]
-        end
-      done;
+      (* each sample point synthesizes and attacks its own strategy, so the
+         rows shard across the pool; they are re-assembled in input order
+         and the table is printed sequentially — same bytes at any --jobs *)
+      let rows =
+        FS.Pool.with_pool ?jobs @@ fun pool ->
+        FS.Par.parallel_map pool (List.init samples Fun.id)
+          ~f:(fun i ->
+            let t = float_of_int i /. float_of_int (samples - 1) in
+            let alpha = a_star *. (0.7 +. (0.8 *. t)) in
+            if alpha > 1.001 then begin
+              let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
+              let solution = FS.Solve.solve ~alpha problem in
+              let outcome =
+                FS.Adversary.worst_case
+                  (FS.Solve.trajectories solution)
+                  ~f ~n ()
+              in
+              Some
+                [
+                  FS.Table.cell_f ~decimals:4 alpha;
+                  FS.Table.cell_f ~decimals:4 solution.FS.Solve.designed_ratio;
+                  FS.Table.cell_f ~decimals:4 outcome.FS.Adversary.ratio;
+                ]
+            end
+            else None)
+      in
+      List.iter (Option.iter (FS.Table.add_row tbl)) rows;
       FS.Table.print tbl;
       0
 
@@ -252,7 +315,8 @@ let sweep_cmd =
   let doc = "Ratio of the exponential strategy as a function of its base." in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg)
+    Term.(
+      const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -74,6 +74,14 @@ module Fractional = Search_covering.Fractional
 module Induction = Search_covering.Induction
 module Frontier = Search_covering.Frontier
 
+(** {1 Parallel execution (domain pool, deterministic sharding)} *)
+
+module Pool = Search_exec.Pool
+module Par = Search_exec.Par
+module Shard = Search_exec.Shard
+module Memo = Search_exec.Memo
+module Metrics = Search_exec.Metrics
+
 (** {1 Numerics} *)
 
 module Interval1 = Search_numerics.Interval1

@@ -43,6 +43,31 @@ let check_orc ~turns ~demand ~lambda ~n =
   run_certificate Assigned.Orc_setting ~turns ~demand ~lambda ~n
     ~coverage:(fun () -> Orc.check turns ~demand ~lambda ~n)
 
+(* The λ-grid refutations are independent point evaluations sharing only
+   the (mutex-memoised) turning sequences, so they shard across a domain
+   pool; results are re-assembled in input order, making the parallel
+   path byte-identical to the sequential one. *)
+let check_sharded ?jobs ~lambdas check =
+  Search_exec.Pool.with_pool ?jobs (fun pool ->
+      Search_exec.Par.parallel_map pool
+        ~f:(fun lambda -> (lambda, check ~lambda))
+        lambdas)
+
+let check_line_sharded ?jobs ~turns ~f ~lambdas ~n () =
+  check_sharded ?jobs ~lambdas (fun ~lambda -> check_line ~turns ~f ~lambda ~n)
+
+let check_orc_sharded ?jobs ~turns ~demand ~lambdas ~n () =
+  check_sharded ?jobs ~lambdas (fun ~lambda ->
+      check_orc ~turns ~demand ~lambda ~n)
+
+let lambda_grid ~lo ~hi ~count =
+  if count < 1 then invalid_arg "Certificate.lambda_grid: need count >= 1";
+  if lo > hi then invalid_arg "Certificate.lambda_grid: need lo <= hi";
+  if count = 1 then [ 0.5 *. (lo +. hi) ]
+  else
+    List.init count (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (count - 1)))
+
 let log_horizon_bound setting ~k ~demand ~lambda ?engage ?c () =
   if lambda <= 1. then invalid_arg "Certificate.log_horizon_bound: lambda <= 1";
   let mu = (lambda -. 1.) /. 2. in

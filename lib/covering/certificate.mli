@@ -44,6 +44,26 @@ val check_orc :
 (** Certificate in the ORC setting with covering demand [q = demand]
     (for the m-ray problem, [q = m (f+1)]).  Requires [k < demand]. *)
 
+val check_line_sharded :
+  ?jobs:int -> turns:Search_strategy.Turning.t array -> f:int
+  -> lambdas:float list -> n:float -> unit -> (float * verdict) list
+(** {!check_line} over a whole λ-grid, the points sharded across a
+    domain pool of [jobs] workers (default
+    [Domain.recommended_domain_count ()]).  The result list pairs each λ
+    with its verdict, in the input order — identical to mapping
+    {!check_line} sequentially, at any job count. *)
+
+val check_orc_sharded :
+  ?jobs:int -> turns:Search_strategy.Turning.t array -> demand:int
+  -> lambdas:float list -> n:float -> unit -> (float * verdict) list
+(** {!check_orc} over a λ-grid; same contract as
+    {!check_line_sharded}. *)
+
+val lambda_grid : lo:float -> hi:float -> count:int -> float list
+(** [count] evenly spaced λ values from [lo] to [hi] inclusive
+    (a single midpoint when [count = 1]).  Requires [count >= 1] and
+    [lo <= hi]. *)
+
 val log_horizon_bound :
   Assigned.setting -> k:int -> demand:int -> lambda:float -> ?engage:float
   -> ?c:float -> unit -> float

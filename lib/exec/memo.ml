@@ -1,0 +1,50 @@
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  table : ('k, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(initial_size = 64) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create initial_size;
+    hits = 0;
+    misses = 0;
+  }
+
+let find_or_add t key compute =
+  let cached =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add t.table key v;
+              v)
+
+let memoize t f key = find_or_add t key (fun () -> f key)
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })
+
+let clear t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

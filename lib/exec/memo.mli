@@ -1,0 +1,32 @@
+(** Thread-safe memoisation cache.
+
+    The bench grids re-evaluate the same closed-form bounds — [A(m,k,f)],
+    [alpha*], regime checks — once per table that mentions them; with the
+    grids fanned out over domains the evaluations also race.  This cache
+    is a mutex-guarded hash table: lookups and insertions are atomic, the
+    compute itself runs {e outside} the lock (so a slow miss never blocks
+    the pool, and re-entrant computes cannot deadlock).  Two domains
+    missing the same key concurrently may both compute it; the function
+    must therefore be pure, which also makes the duplication harmless —
+    first insertion wins. *)
+
+type ('k, 'v) t
+
+val create : ?initial_size:int -> unit -> ('k, 'v) t
+(** [initial_size] defaults to 64 buckets. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Cached value for the key, computing and caching it on a miss. *)
+
+val memoize : ('k, 'v) t -> ('k -> 'v) -> 'k -> 'v
+(** [memoize cache f] is [f] backed by [cache] — e.g.
+    [memoize c (fun (m, k, f) -> Formulas.a_mray ~m ~k ~f)]. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : ('k, 'v) t -> stats
+(** [misses] counts computes started, so under a concurrent duplicate
+    compute it can exceed [entries]. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries (statistics included). *)

@@ -1,0 +1,69 @@
+module Json = Search_numerics.Json
+
+type t = {
+  mutex : Mutex.t;
+  jobs : int;
+  mutable entries : (string * float) list; (* reversed *)
+}
+
+let create ~jobs () = { mutex = Mutex.create (); jobs; entries = [] }
+
+let record t ~experiment ~seconds =
+  Mutex.protect t.mutex (fun () ->
+      t.entries <- (experiment, seconds) :: t.entries)
+
+let time t ~experiment f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      record t ~experiment ~seconds:(Unix.gettimeofday () -. t0))
+    f
+
+let entries t = Mutex.protect t.mutex (fun () -> List.rev t.entries)
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0. (entries t)
+
+let entry_json ~jobs (experiment, seconds) =
+  Json.Assoc
+    [
+      ("experiment", Json.String experiment);
+      ("jobs", Json.Number (float_of_int jobs));
+      ("seconds", Json.Number seconds);
+    ]
+
+let to_json t = Json.List (List.map (entry_json ~jobs:t.jobs) (entries t))
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Ok (Json.List items) -> Some items
+    | Ok _ | Error _ -> None
+  end
+
+let write t ~path =
+  let ours =
+    match to_json t with Json.List items -> items | _ -> assert false
+  in
+  let kept =
+    match read_file path with
+    | None -> []
+    | Some items ->
+        List.filter
+          (fun item ->
+            match Option.bind (Json.member "jobs" item) Json.to_int with
+            | Some j -> j <> t.jobs
+            | None -> false)
+          items
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (Json.List (kept @ ours)));
+      output_char oc '\n')

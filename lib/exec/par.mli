@@ -1,0 +1,29 @@
+(** Deterministic parallel combinators over a {!Pool}.
+
+    All combinators preserve {e input order}: results are assembled by
+    submission position, never by completion order, so for pure functions
+    the output — including the floating-point evaluation order of any
+    subsequent fold — is byte-identical to the sequential
+    [List.map]/[List.fold_left] at every pool size. *)
+
+val parallel_map : ?chunk:int -> Pool.t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map].  [chunk] (default 1) groups
+    that many consecutive items into one task, amortising queue traffic
+    for very cheap [f].  If any [f x] raises, the leftmost failing
+    item's exception is re-raised. *)
+
+val parallel_mapi : Pool.t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+(** Same with the 0-based input position. *)
+
+val parallel_iter : Pool.t -> f:('a -> unit) -> 'a list -> unit
+(** Runs [f] on every item (no result ordering to speak of, but all
+    tasks are awaited — and exceptions re-raised — before returning). *)
+
+val parallel_reduce :
+  Pool.t -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c
+  -> 'a list -> 'c
+(** [map] runs in parallel; [combine] folds the results sequentially in
+    input order.  Safe for non-associative combines (float addition). *)
+
+val parallel_map_array : Pool.t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!parallel_map}. *)

@@ -1,0 +1,121 @@
+(* One mutex/condition pair guards everything: the queue, the shutdown
+   flag and every promise's state.  [wake] is broadcast on each of the
+   three events an idle domain can be waiting for — new work, a promise
+   resolving, shutdown — which keeps the protocol obviously deadlock-free
+   at the cost of some spurious wake-ups (fine at table-row granularity). *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+type 'a promise = { pool : t; mutable result : 'a state }
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.wake t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* closing and drained *)
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job ()
+    end
+  done
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: need jobs >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+      jobs;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let async t f =
+  let p = { pool = t; result = Pending } in
+  let job () =
+    let r =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    p.result <- r;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  p
+
+let rec await p =
+  let t = p.pool in
+  Mutex.lock t.mutex;
+  match p.result with
+  | Done v ->
+      Mutex.unlock t.mutex;
+      v
+  | Failed (e, bt) ->
+      Mutex.unlock t.mutex;
+      Printexc.raise_with_backtrace e bt
+  | Pending ->
+      if not (Queue.is_empty t.queue) then begin
+        (* help: run some queued task (possibly, but not necessarily, the
+           one we are waiting for) *)
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        job ()
+      end
+      else begin
+        Condition.wait t.wake t.mutex;
+        Mutex.unlock t.mutex
+      end;
+      await p
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.closing in
+  t.closing <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

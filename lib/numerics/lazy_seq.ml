@@ -1,16 +1,38 @@
-type 'a t = { get_raw : int -> 'a; cache : (int, 'a) Hashtbl.t }
+(* Memoisation must be domain-safe: the parallel execution layer
+   (faulty_search.exec) shares turning-point sequences across domains —
+   e.g. one strategy probed at many λ-grid points concurrently — and a
+   bare Hashtbl races under concurrent insertion.  Each sequence carries
+   a mutex; the user's generator runs OUTSIDE the lock (it must be pure,
+   so a duplicated compute on a concurrent miss is harmless and the
+   first insertion wins), which also keeps re-entrant generators —
+   sequences defined in terms of other sequences — deadlock-free.  The
+   [unfold] state walk is inherently sequential, so there the lock is
+   held across the walk; its [step] may probe other sequences but must
+   not probe its own. *)
 
-let of_fun f = { get_raw = f; cache = Hashtbl.create 64 }
+type 'a t = {
+  get_raw : int -> 'a;
+  cache : (int, 'a) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let of_fun f = { get_raw = f; cache = Hashtbl.create 64; mutex = Mutex.create () }
 
 let get t i =
   if i < 1 then invalid_arg "Lazy_seq.get: index must be >= 1"
   else
-    match Hashtbl.find_opt t.cache i with
+    match
+      Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.cache i)
+    with
     | Some v -> v
     | None ->
         let v = t.get_raw i in
-        Hashtbl.add t.cache i v;
-        v
+        Mutex.protect t.mutex (fun () ->
+            match Hashtbl.find_opt t.cache i with
+            | Some winner -> winner
+            | None ->
+                Hashtbl.add t.cache i v;
+                v)
 
 let of_list_then prefix tail =
   let arr = Array.of_list prefix in
@@ -22,6 +44,7 @@ let unfold ~init step =
      element i+1.  Grow on demand; [highest] is the largest computed
      index, so filling up to a deep index is an iterative walk (constant
      stack — trajectories can have millions of legs). *)
+  let walk_mutex = Mutex.create () in
   let states = ref [| init |] in
   let values : (int, 'a) Hashtbl.t = Hashtbl.create 64 in
   let highest = ref 0 in
@@ -41,8 +64,9 @@ let unfold ~init step =
     done
   in
   of_fun (fun i ->
-      ensure i;
-      Hashtbl.find values i)
+      Mutex.protect walk_mutex (fun () ->
+          ensure i;
+          Hashtbl.find values i))
 
 let prefix t n = List.init n (fun i -> get t (i + 1))
 let map f t = of_fun (fun i -> f (get t i))

@@ -3,14 +3,24 @@
     Robot strategies are infinite turning-point sequences [t_1, t_2, ...]
     (Section 2 of the paper).  We represent them as total functions from a
     1-based index, memoised so that repeated probing (simulation, covering
-    checks, prefix machinery) costs each element only once. *)
+    checks, prefix machinery) costs each element only once.
+
+    Sequences are domain-safe: the cache is mutex-guarded, so one
+    sequence may be probed from several domains concurrently (the
+    parallel λ-grid and sweep paths of [faulty_search.exec] do).  The
+    generator runs outside the lock — it must be pure; two domains
+    missing the same index may both run it, and the first insertion
+    wins.  Exception: an {!unfold}'s [step] runs under its sequence's
+    lock (the state walk is sequential) and must not probe its own
+    sequence. *)
 
 type 'a t
 (** An infinite sequence [a_1, a_2, ...]. *)
 
 val of_fun : (int -> 'a) -> 'a t
-(** [of_fun f] is the sequence [f 1, f 2, ...], each element computed at most
-    once.  [f] must be pure.  Indices [< 1] are invalid. *)
+(** [of_fun f] is the sequence [f 1, f 2, ...], each element computed once
+    (at most once per concurrently-missing domain).  [f] must be pure.
+    Indices [< 1] are invalid. *)
 
 val of_list_then : 'a list -> (int -> 'a) -> 'a t
 (** [of_list_then prefix tail] uses the explicit prefix for the first

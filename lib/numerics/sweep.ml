@@ -10,25 +10,61 @@ let multiplicity_at x ivs =
    midpoint.  Midpoint evaluation makes left-end kinds irrelevant (they only
    matter on a measure-zero set), which is exactly the resolution at which
    the covering proofs operate ("every point of R_{>1} is covered exactly s
-   times" after truncation). *)
+   times" after truncation).
+
+   A piece's midpoint lies strictly between two consecutive endpoints, so an
+   interval contains it iff the interval has started (lo <= piece start) and
+   not yet ended (hi >= piece end; hi cannot fall inside the piece).  A
+   single pass over the endpoint events — +1 at each lo, -1 at each hi, both
+   applied once the sweep moves past the position — therefore maintains every
+   piece's multiplicity in O(n log n) total, instead of the former
+   O(pieces x intervals) rescan per piece; this is the certificate checker's
+   hot loop.  Degenerate intervals [c, c] add and immediately retire at the
+   same position, contributing to no piece — exactly the midpoint semantics. *)
 let coverage_profile ~within:(lo, hi) ivs =
   if lo >= hi then []
-  else
+  else begin
+    let n = List.length ivs in
+    (* +1 events at interval starts, -1 events at interval ends *)
+    let events = Array.make (2 * n) (0., 0) in
+    List.iteri
+      (fun i (iv : Interval1.t) ->
+        events.(2 * i) <- (iv.Interval1.lo, 1);
+        events.((2 * i) + 1) <- (iv.Interval1.hi, -1))
+      ivs;
+    Array.sort
+      (fun (x, _) (y, _) -> Float.compare x y)
+      events;
     let cuts =
-      List.concat_map
-        (fun (iv : Interval1.t) -> [ iv.Interval1.lo; iv.Interval1.hi ])
-        ivs
-      |> List.filter (fun x -> x > lo && x < hi)
+      Array.to_list events
+      |> List.filter_map (fun (x, _) -> if x > lo && x < hi then Some x else None)
       |> List.sort_uniq Float.compare
     in
     let points = (lo :: cuts) @ [ hi ] in
+    let next_event = ref 0 in
+    let running = ref 0 in
+    (* apply every event at a position <= a: an interval ending exactly at
+       the piece's start no longer covers its midpoint, one starting there
+       does *)
+    let advance_to a =
+      while
+        !next_event < Array.length events && fst events.(!next_event) <= a
+      do
+        running := !running + snd events.(!next_event);
+        incr next_event
+      done
+    in
     let rec pieces = function
       | a :: (b :: _ as rest) ->
-          let mid = 0.5 *. (a +. b) in
-          (a, b, multiplicity_at mid ivs) :: pieces rest
+          advance_to a;
+          (* bind before recursing: argument evaluation order must not let
+             the recursive call advance the cursor past this piece *)
+          let count = !running in
+          (a, b, count) :: pieces rest
       | [ _ ] | [] -> []
     in
     pieces points
+  end
 
 let min_multiplicity ~within ivs =
   match coverage_profile ~within ivs with

@@ -24,8 +24,10 @@ let cell_i = string_of_int
 let render t =
   let rows = List.rev t.rows in
   let headers = List.map fst t.header in
-  let aligns = List.map snd t.header in
-  let ncols = List.length headers in
+  (* arrays once: [render_row] is per-row, so [List.nth] here was
+     quadratic in the column count per row *)
+  let aligns = Array.of_list (List.map snd t.header) in
+  let ncols = Array.length aligns in
   let widths = Array.make ncols 0 in
   let account row =
     List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
@@ -41,7 +43,7 @@ let render t =
       | Right -> String.make fill ' ' ^ cell
   in
   let render_row row =
-    let cells = List.mapi (fun i c -> pad (List.nth aligns i) widths.(i) c) row in
+    let cells = List.mapi (fun i c -> pad aligns.(i) widths.(i) c) row in
     "| " ^ String.concat " | " cells ^ " |"
   in
   let rule =

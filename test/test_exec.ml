@@ -1,0 +1,358 @@
+(* Tests for the multicore execution engine: the domain pool, the
+   order-preserving parallel combinators, the deterministic sharder, the
+   thread-safe memo cache, and the metrics recorder.  The central claim
+   under test is the determinism contract: every parallel path produces
+   results identical to the sequential path at every pool size. *)
+
+module Pool = Search_exec.Pool
+module Par = Search_exec.Par
+module Shard = Search_exec.Shard
+module Memo = Search_exec.Memo
+module Metrics = Search_exec.Metrics
+module Prng = Search_numerics.Prng
+module F = Search_bounds.Formulas
+module R = Search_strategy.Randomized
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-12))
+
+(* every pool-size-sensitive test runs at these sizes; 1 must spawn no
+   domain (pure helping), 8 oversubscribes this container on purpose *)
+let pool_sizes = [ 1; 2; 8 ]
+
+let at_each_size name f =
+  List.iter
+    (fun jobs -> Pool.with_pool ~jobs (fun pool -> f ~jobs pool))
+    pool_sizes;
+  ignore name
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_await_value () =
+  at_each_size "await" @@ fun ~jobs pool ->
+  let p = Pool.async pool (fun () -> 6 * 7) in
+  check_int (Printf.sprintf "value at jobs=%d" jobs) 42 (Pool.await p)
+
+let test_pool_ordering () =
+  at_each_size "ordering" @@ fun ~jobs pool ->
+  let promises = List.init 50 (fun i -> Pool.async pool (fun () -> i * i)) in
+  let results = List.map Pool.await promises in
+  check_bool
+    (Printf.sprintf "results in submission order at jobs=%d" jobs)
+    true
+    (results = List.init 50 (fun i -> i * i))
+
+exception Boom of int
+
+let test_pool_exception_propagation () =
+  at_each_size "exceptions" @@ fun ~jobs pool ->
+  let p = Pool.async pool (fun () -> raise (Boom 17)) in
+  (match Pool.await p with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n ->
+      check_int (Printf.sprintf "payload at jobs=%d" jobs) 17 n);
+  (* the same promise re-raises on every await *)
+  (match Pool.await p with
+  | _ -> Alcotest.fail "expected Boom again"
+  | exception Boom n -> check_int "payload again" 17 n);
+  (* and the pool survives the failure *)
+  check_int "pool still works" 5 (Pool.await (Pool.async pool (fun () -> 5)))
+
+let test_pool_nested_submit () =
+  at_each_size "nested" @@ fun ~jobs pool ->
+  (* tasks that themselves fan out on the same pool: the helping await
+     makes this deadlock-free even at jobs = 1 *)
+  let outer =
+    List.init 8 (fun i ->
+        Pool.async pool (fun () ->
+            let inner =
+              List.init 5 (fun j -> Pool.async pool (fun () -> (10 * i) + j))
+            in
+            List.fold_left (fun acc p -> acc + Pool.await p) 0 inner))
+  in
+  let total = List.fold_left (fun acc p -> acc + Pool.await p) 0 outer in
+  let expected =
+    List.concat_map (fun i -> List.init 5 (fun j -> (10 * i) + j))
+      (List.init 8 Fun.id)
+    |> List.fold_left ( + ) 0
+  in
+  check_int (Printf.sprintf "nested sum at jobs=%d" jobs) expected total
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  match Pool.async pool (fun () -> ()) with
+  | _ -> Alcotest.fail "async on shut-down pool must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Par: parallel_map == List.map on the real bench grids *)
+
+(* the T1 grid: closed-form line bounds A(k, f) *)
+let t1_grid =
+  List.concat_map (fun k -> List.init ((k / 2) + 1) (fun f -> (k, f)))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* the T3 grid: m-ray bounds A(m, k, f) *)
+let t3_grid =
+  Shard.grid2 [ 2; 3; 4 ] [ (3, 0); (3, 1); (4, 1); (5, 2) ]
+  |> List.map (fun (m, (k, f)) -> (m, k, f))
+
+let test_parallel_map_t1 () =
+  let f (k, fl) = F.a_line ~k ~f:fl in
+  let expected = List.map f t1_grid in
+  at_each_size "t1" @@ fun ~jobs pool ->
+  check_bool
+    (Printf.sprintf "T1 grid identical at jobs=%d" jobs)
+    true
+    (Par.parallel_map pool ~f t1_grid = expected)
+
+let test_parallel_map_t3 () =
+  let f (m, k, fl) = F.a_mray ~m ~k ~f:fl in
+  let expected = List.map f t3_grid in
+  at_each_size "t3" @@ fun ~jobs pool ->
+  check_bool
+    (Printf.sprintf "T3 grid identical at jobs=%d" jobs)
+    true
+    (Par.parallel_map pool ~f t3_grid = expected);
+  check_bool
+    (Printf.sprintf "chunked T3 grid identical at jobs=%d" jobs)
+    true
+    (Par.parallel_map ~chunk:3 pool ~f t3_grid = expected)
+
+let test_parallel_mapi_and_iter () =
+  at_each_size "mapi" @@ fun ~jobs pool ->
+  let xs = [ "a"; "b"; "c"; "d" ] in
+  check_bool
+    (Printf.sprintf "mapi at jobs=%d" jobs)
+    true
+    (Par.parallel_mapi pool ~f:(fun i s -> (i, s)) xs
+    = List.mapi (fun i s -> (i, s)) xs);
+  let hits = Atomic.make 0 in
+  Par.parallel_iter pool ~f:(fun _ -> Atomic.incr hits) xs;
+  check_int "iter ran every item" 4 (Atomic.get hits)
+
+let test_parallel_reduce_float_order () =
+  (* non-associative float addition: the fold must happen in input
+     order, so the sum is bit-identical to the sequential fold *)
+  let xs = List.init 200 (fun i -> 1. /. float_of_int (i + 1)) in
+  let expected = List.fold_left ( +. ) 0. xs in
+  at_each_size "reduce" @@ fun ~jobs pool ->
+  let got = Par.parallel_reduce pool ~map:Fun.id ~combine:( +. ) ~init:0. xs in
+  check_bool
+    (Printf.sprintf "bit-identical float sum at jobs=%d" jobs)
+    true (got = expected)
+
+let test_parallel_map_array () =
+  at_each_size "array" @@ fun ~jobs pool ->
+  let a = Array.init 30 (fun i -> i) in
+  check_bool
+    (Printf.sprintf "array map at jobs=%d" jobs)
+    true
+    (Par.parallel_map_array pool ~f:(fun x -> x * 2) a
+    = Array.map (fun x -> x * 2) a)
+
+(* ------------------------------------------------------------------ *)
+(* Shard *)
+
+let test_shard_prngs_independent_of_jobs () =
+  (* the leaves depend only on (root, n); draw a float from each *)
+  let root = Prng.make ~seed:99 in
+  let draw g = fst (Prng.float g) in
+  let leaves = Shard.prngs ~root ~n:6 |> Array.map draw in
+  let again = Shard.prngs ~root ~n:6 |> Array.map draw in
+  check_bool "leaves reproducible" true (leaves = again);
+  (* a prefix of a larger tree matches: leaf i does not depend on n *)
+  let wider = Shard.prngs ~root ~n:10 |> Array.map draw in
+  check_bool "leaf i independent of n" true
+    (Array.to_list leaves = List.filteri (fun i _ -> i < 6)
+                               (Array.to_list wider));
+  let distinct =
+    Array.to_list leaves |> List.sort_uniq compare |> List.length
+  in
+  check_int "leaves distinct" 6 distinct
+
+let test_shards_balanced () =
+  let xs = List.init 10 Fun.id in
+  let chunks = Shard.shards ~shards:3 xs in
+  check_int "three chunks" 3 (List.length chunks);
+  check_bool "concat restores input" true (List.concat chunks = xs);
+  let sizes = List.map List.length chunks in
+  check_bool "balanced" true (sizes = [ 4; 3; 3 ]);
+  check_int "never an empty chunk" 2
+    (List.length (Shard.shards ~shards:5 [ 1; 2 ]))
+
+let test_grid2_row_major () =
+  check_bool "row-major order" true
+    (Shard.grid2 [ 1; 2 ] [ "x"; "y"; "z" ]
+    = [ (1, "x"); (1, "y"); (1, "z"); (2, "x"); (2, "y"); (2, "z") ])
+
+let test_sharded_stochastic_jobs_invariant () =
+  (* the bench's X2 Monte-Carlo column, in miniature: a fixed 8-shard
+     decomposition per beta, each shard drawing from its own split-tree
+     leaf, folded in input order.  Identical at jobs = 1 and jobs = 8. *)
+  let estimate pool ~beta =
+    let root = Prng.make ~seed:20180723 in
+    let shard_estimates =
+      Shard.sharded_map pool ~root
+        ~f:(fun ~prng () -> R.expected_ratio_at ~beta ~x:64. ~samples:32 ~prng)
+        (List.init 8 (fun _ -> ()))
+    in
+    List.fold_left ( +. ) 0. shard_estimates /. 8.
+  in
+  let sequential = Pool.with_pool ~jobs:1 (fun pool -> estimate pool ~beta:3.5) in
+  List.iter
+    (fun jobs ->
+      let parallel = Pool.with_pool ~jobs (fun pool -> estimate pool ~beta:3.5) in
+      check_bool
+        (Printf.sprintf "MC estimate bit-identical at jobs=%d" jobs)
+        true
+        (Int64.equal
+           (Int64.bits_of_float sequential)
+           (Int64.bits_of_float parallel)))
+    pool_sizes;
+  check_bool "estimate is sane" true (sequential > 1. && sequential < 20.)
+
+(* ------------------------------------------------------------------ *)
+(* Memo *)
+
+let test_memo_caches () =
+  let cache = Memo.create () in
+  let computes = ref 0 in
+  let f k =
+    Memo.find_or_add cache k (fun () ->
+        incr computes;
+        k * k)
+  in
+  check_int "first" 49 (f 7);
+  check_int "second" 49 (f 7);
+  check_int "other key" 64 (f 8);
+  check_int "computed twice only" 2 !computes;
+  let s = Memo.stats cache in
+  check_int "entries" 2 s.Memo.entries;
+  check_int "hits" 1 s.Memo.hits;
+  check_int "misses" 2 s.Memo.misses;
+  Memo.clear cache;
+  check_int "cleared" 0 (Memo.stats cache).Memo.entries
+
+let test_memo_concurrent () =
+  (* hammer one cache from every worker; values must stay consistent *)
+  Pool.with_pool ~jobs:8 @@ fun pool ->
+  let cache = Memo.create () in
+  let f = Memo.memoize cache (fun (m, k, fl) -> F.a_mray ~m ~k ~f:fl) in
+  let keys = List.concat (List.init 20 (fun _ -> t3_grid)) in
+  let got = Par.parallel_map pool ~f keys in
+  let expected = List.map (fun (m, k, fl) -> F.a_mray ~m ~k ~f:fl) keys in
+  check_bool "all values correct under contention" true (got = expected);
+  check_int "entries bounded by key set" (List.length t3_grid)
+    (Memo.stats cache).Memo.entries
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_record_and_total () =
+  let m = Metrics.create ~jobs:3 () in
+  Metrics.record m ~experiment:"T1" ~seconds:0.5;
+  Metrics.record m ~experiment:"T3" ~seconds:0.25;
+  let x = Metrics.time m ~experiment:"quick" (fun () -> 11) in
+  check_int "time passes result through" 11 x;
+  check_int "three entries" 3 (List.length (Metrics.entries m));
+  check_bool "order kept" true
+    (List.map fst (Metrics.entries m) = [ "T1"; "T3"; "quick" ]);
+  check_bool "total >= recorded" true (Metrics.total m >= 0.75)
+
+let test_metrics_write_merges () =
+  let path = Filename.temp_file "metrics" ".json" in
+  let m1 = Metrics.create ~jobs:1 () in
+  Metrics.record m1 ~experiment:"T1" ~seconds:1.0;
+  Metrics.write m1 ~path;
+  let m4 = Metrics.create ~jobs:4 () in
+  Metrics.record m4 ~experiment:"T1" ~seconds:0.3;
+  Metrics.write m4 ~path;
+  (* jobs=1 entries survive the jobs=4 write; same-jobs entries are
+     replaced on a re-run *)
+  let m1' = Metrics.create ~jobs:1 () in
+  Metrics.record m1' ~experiment:"T1" ~seconds:0.9;
+  Metrics.write m1' ~path;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Search_numerics.Json.of_string contents with
+  | Ok (Search_numerics.Json.List entries) ->
+      check_int "two entries (jobs 1 replaced, jobs 4 kept)" 2
+        (List.length entries);
+      let seconds_of jobs =
+        List.find_map
+          (function
+            | Search_numerics.Json.Assoc fields
+              when List.assoc_opt "jobs" fields
+                   = Some (Search_numerics.Json.Number (float_of_int jobs))
+              -> (
+                match List.assoc_opt "seconds" fields with
+                | Some (Search_numerics.Json.Number s) -> Some s
+                | _ -> None)
+            | _ -> None)
+          entries
+      in
+      checkf "jobs=1 replaced by re-run" 0.9 (Option.get (seconds_of 1));
+      checkf "jobs=4 kept" 0.3 (Option.get (seconds_of 4))
+  | Ok _ -> Alcotest.fail "timings file is not a JSON list"
+  | Error e -> Alcotest.fail ("unparsable timings file: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+
+let tc name speed fn = Alcotest.test_case name speed fn
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          tc "await returns the value" `Quick test_pool_await_value;
+          tc "results keep submission order" `Quick test_pool_ordering;
+          tc "exceptions propagate to await" `Quick
+            test_pool_exception_propagation;
+          tc "nested submissions don't deadlock" `Quick
+            test_pool_nested_submit;
+          tc "shutdown is idempotent and rejects new work" `Quick
+            test_pool_shutdown_rejects;
+        ] );
+      ( "par",
+        [
+          tc "parallel_map = List.map on the T1 grid" `Quick
+            test_parallel_map_t1;
+          tc "parallel_map = List.map on the T3 grid" `Quick
+            test_parallel_map_t3;
+          tc "mapi and iter" `Quick test_parallel_mapi_and_iter;
+          tc "reduce folds floats in input order" `Quick
+            test_parallel_reduce_float_order;
+          tc "array variant" `Quick test_parallel_map_array;
+        ] );
+      ( "shard",
+        [
+          tc "split-tree leaves are reproducible" `Quick
+            test_shard_prngs_independent_of_jobs;
+          tc "chunks are balanced and order-preserving" `Quick
+            test_shards_balanced;
+          tc "grid2 is row-major" `Quick test_grid2_row_major;
+          tc "stochastic estimate identical at jobs 1 vs 8" `Quick
+            test_sharded_stochastic_jobs_invariant;
+        ] );
+      ( "memo",
+        [
+          tc "caches and counts" `Quick test_memo_caches;
+          tc "consistent under domain contention" `Quick
+            test_memo_concurrent;
+        ] );
+      ( "metrics",
+        [
+          tc "records entries and totals" `Quick
+            test_metrics_record_and_total;
+          tc "write merges across job counts" `Quick
+            test_metrics_write_merges;
+        ] );
+    ]
