@@ -532,6 +532,85 @@ let report_cmd =
     Term.(const report_run $ m_arg $ k_arg $ f_arg $ n_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let seed_arg =
+  let doc = "Seed of the deterministic case stream." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cases_arg =
+  let doc = "Number of random cases to generate and check." in
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay corpus entries instead of fuzzing: $(docv) is a JSON case \
+     file or a directory of them (e.g. test/corpus)."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH" ~doc)
+
+let corpus_dir_arg =
+  let doc =
+    "Write each failing case (shrunk) into $(docv) as a replayable JSON \
+     corpus entry."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR" ~doc)
+
+let fuzz_replay path =
+  let entries =
+    if Sys.is_directory path then FS.Check.Corpus.files ~dir:path
+    else [ path ]
+  in
+  if entries = [] then begin
+    Format.eprintf "no corpus entries under %s@." path;
+    1
+  end
+  else begin
+    let failed = ref 0 in
+    List.iter
+      (fun file ->
+        match FS.Check.Corpus.replay_file file with
+        | Ok () -> Format.printf "replay %s: OK@." file
+        | Error msg ->
+            incr failed;
+            Format.printf "replay %s: FAIL %s@." file msg)
+      entries;
+    Format.printf "replayed %d entr%s, %d failing@." (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      !failed;
+    if !failed = 0 then 0 else 1
+  end
+
+let fuzz_run seed cases jobs replay corpus_dir =
+  if not (check_jobs jobs) then 1
+  else
+    match replay with
+    | Some path -> fuzz_replay path
+    | None ->
+        let outcome = FS.Check.Fuzz.run ?jobs ~seed ~cases () in
+        (* the report carries no timing or job count: identical bytes at
+           any --jobs and across runs *)
+        print_string (FS.Check.Fuzz.report outcome);
+        (match corpus_dir with
+        | Some dir when outcome.FS.Check.Fuzz.failures <> [] ->
+            List.iter
+              (Format.printf "corpus entry written to %s@.")
+              (FS.Check.Fuzz.save_failures ~dir outcome)
+        | _ -> ());
+        if outcome.FS.Check.Fuzz.failures = [] then 0 else 1
+
+let fuzz_cmd =
+  let doc =
+    "Property-based fuzzing: random cases through the invariant \
+     catalogue, with shrinking and corpus replay."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz_run $ seed_arg $ cases_arg $ jobs_arg $ replay_arg
+      $ corpus_dir_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "parallel search on m rays with faulty robots (PODC 2018)" in
@@ -539,7 +618,7 @@ let main_cmd =
   Cmd.group info
     [
       bounds_cmd; simulate_cmd; certify_cmd; recheck_cmd; sweep_cmd; trace_cmd;
-      phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd;
+      phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,66 @@
+module Json = Search_numerics.Json
+
+let entry_json case ~violations =
+  Json.Assoc
+    [
+      ("case", Case.to_json case);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Invariant.violation) ->
+               Json.Assoc
+                 [
+                   ("invariant", Json.String v.invariant);
+                   ("detail", Json.String v.detail);
+                 ])
+             violations) );
+    ]
+
+let save ~dir case ~violations =
+  let contents =
+    Json.to_string ~pretty:true (entry_json case ~violations) ^ "\n"
+  in
+  let name =
+    Printf.sprintf "case-%s.json"
+      (String.sub (Digest.to_hex (Digest.string contents)) 0 12)
+  in
+  let path = Filename.concat dir name in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  path
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let load_file path =
+  Result.bind (read_file path) @@ fun contents ->
+  Result.bind (Json.of_string contents) @@ fun json ->
+  let case_json = Option.value (Json.member "case" json) ~default:json in
+  Case.of_json case_json
+
+let replay_file path =
+  Result.bind (load_file path) @@ fun case ->
+  match Invariant.check_case case with
+  | [] -> Ok ()
+  | violations ->
+      Error
+        (Format.asprintf "%d violation(s):@ %a" (List.length violations)
+           (Format.pp_print_list ~pp_sep:Format.pp_print_space
+              Invariant.pp_violation)
+           violations)
+
+let files ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".json")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)

@@ -1,0 +1,55 @@
+module Json = Search_numerics.Json
+module Pool = Search_exec.Pool
+module Par = Search_exec.Par
+
+type failure = {
+  original : Case.t;
+  shrunk : Case.t;
+  violations : Invariant.violation list;
+}
+
+type outcome = { seed : int; cases : int; failures : failure list }
+
+let run ?jobs ~seed ~cases () =
+  let generated = Gen.cases ~seed ~count:cases in
+  let checked =
+    Pool.with_pool ?jobs @@ fun pool ->
+    Par.parallel_map pool generated ~f:(fun c -> (c, Invariant.check_case c))
+  in
+  (* Shrinking is sequential: failures are rare, and the greedy descent
+     re-runs the catalogue many times over ever-smaller cases. *)
+  let failures =
+    List.filter_map
+      (fun (original, violations) ->
+        if violations = [] then None
+        else
+          let still_fails c = Invariant.check_case c <> [] in
+          let shrunk = Shrink.minimize ~still_fails original in
+          Some { original; shrunk; violations = Invariant.check_case shrunk })
+      checked
+  in
+  { seed; cases; failures }
+
+let report o =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "fuzz: seed=%d cases=%d invariants=%d\n" o.seed o.cases
+    (List.length Invariant.names);
+  List.iter
+    (fun fl ->
+      pf "\nFAILURE: case %d (shrunk from id %d):\n" fl.shrunk.Case.id
+        fl.original.Case.id;
+      pf "%s\n" (Json.to_string ~pretty:true (Case.to_json fl.shrunk));
+      List.iter
+        (fun v -> pf "  %s\n" (Format.asprintf "%a" Invariant.pp_violation v))
+        fl.violations)
+    o.failures;
+  (match o.failures with
+  | [] -> pf "result: OK (0 invariant violations)\n"
+  | fs -> pf "\nresult: FAIL (%d failing case(s))\n" (List.length fs));
+  Buffer.contents buf
+
+let save_failures ~dir o =
+  List.map
+    (fun fl -> Corpus.save ~dir fl.shrunk ~violations:fl.violations)
+    o.failures

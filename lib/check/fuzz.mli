@@ -1,0 +1,29 @@
+(** The fuzzing driver: generate, check, shrink, report.
+
+    One run is a pure function of [(seed, cases)].  Cases are checked
+    across a domain pool with the PR's deterministic-parallelism
+    contract (order-preserving map, per-case split-tree generators), so
+    the outcome — and the rendered report, which deliberately contains
+    no timing or job-count information — is byte-identical at every
+    [jobs] value. *)
+
+type failure = {
+  original : Case.t;  (** as generated *)
+  shrunk : Case.t;  (** after greedy minimisation *)
+  violations : Invariant.violation list;  (** of the shrunk case *)
+}
+
+type outcome = { seed : int; cases : int; failures : failure list }
+
+val run : ?jobs:int -> seed:int -> cases:int -> unit -> outcome
+(** Generate [cases] cases from [seed], run the invariant catalogue on
+    each (sharded over [jobs] domains, default
+    [Pool.default_jobs ()]), and shrink every failing case. *)
+
+val report : outcome -> string
+(** Deterministic human-readable summary: header, one block per failure
+    (shrunk case JSON plus its violations), final verdict line. *)
+
+val save_failures : dir:string -> outcome -> string list
+(** Write every failure's shrunk case to the corpus directory; returns
+    the paths. *)

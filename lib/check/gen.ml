@@ -1,0 +1,72 @@
+module Prng = Search_numerics.Prng
+module P = Search_bounds.Params
+module F = Search_bounds.Formulas
+module Turning = Search_strategy.Turning
+
+let case ~id g =
+  let f, g = Prng.int ~bound:3 g in
+  let m, g = Prng.int ~bound:3 g in
+  let m = m + 2 in
+  (* searching regime: k in [f+1, m(f+1) - 1], capped so the invariants
+     can enumerate every fault assignment *)
+  let lo = f + 1 in
+  let hi = (m * (f + 1)) - 1 in
+  let k, g = Prng.int ~bound:(hi - lo + 1) g in
+  let k = Stdlib.min (lo + k) 6 in
+  let horizon, g = Prng.float_range ~lo:10. ~hi:120. g in
+  let pick, g = Prng.int ~bound:10 g in
+  let alpha_scale, g =
+    if pick < 3 then (1., g) else Prng.float_range ~lo:1. ~hi:1.6 g
+  in
+  let lambda_frac, g = Prng.float g in
+  let n_targets, g = Prng.int ~bound:4 g in
+  let rec draw_targets n acc g =
+    if n = 0 then (List.rev acc, g)
+    else
+      let ray, g = Prng.int ~bound:m g in
+      let edge, g = Prng.int ~bound:8 g in
+      let dist, g =
+        if edge = 0 then (1., g)
+        else if edge = 1 then (horizon, g)
+        else Prng.float_range ~lo:1. ~hi:horizon g
+      in
+      draw_targets (n - 1) ((ray, dist) :: acc) g
+  in
+  let targets, g = draw_targets (n_targets + 1) [] g in
+  (* 30 bits: nonnegative, and exactly representable as a JSON float *)
+  let raw, _ = Prng.next_int64 g in
+  let turn_seed = Int64.to_int (Int64.logand raw 0x3FFFFFFFL) in
+  {
+    Case.id;
+    m;
+    k;
+    f;
+    horizon;
+    alpha_scale;
+    lambda_frac;
+    targets;
+    turn_seed;
+  }
+
+let cases ~seed ~count =
+  Search_exec.Shard.prngs ~root:(Prng.make ~seed) ~n:count
+  |> Array.to_list
+  |> List.mapi (fun i g -> case ~id:i g)
+
+let alpha (c : Case.t) =
+  let p = Case.params c in
+  F.alpha_star ~q:(P.q p) ~k:c.k *. c.alpha_scale
+
+(* Pure in (seed, robot, index) so Turning.of_fun may memoise it. *)
+let noise ~turn_seed ~robot i =
+  let seed = turn_seed + (robot * 0x1000003) + (i * 0x5DEECE6) in
+  fst (Prng.float_range ~lo:0.8 ~hi:1.25 (Prng.make ~seed))
+
+let turning (c : Case.t) ~robot =
+  let a = alpha c in
+  let scale = a ** (float_of_int robot /. float_of_int c.k) in
+  Turning.of_fun (fun i ->
+      scale *. (a ** float_of_int i) *. noise ~turn_seed:c.turn_seed ~robot i)
+
+let turning_group (c : Case.t) =
+  Array.init c.k (fun robot -> turning c ~robot)

@@ -1,0 +1,32 @@
+(** Deterministic case and strategy generators.
+
+    Case [i] of a run is drawn from leaf [i] of the
+    {!Search_exec.Shard.prngs} split tree, so the case stream depends
+    only on [(seed, count)] — never on evaluation order or job count —
+    and any single case can be regenerated in isolation.  The auxiliary
+    randomness (turning-sequence noise) is keyed purely on the case's
+    [turn_seed], making every derived object a function of the case
+    record alone. *)
+
+val case : id:int -> Search_numerics.Prng.t -> Case.t
+(** One random searching-regime case from a dedicated generator.  The
+    generator keeps [k <= 6] so the invariants can enumerate all
+    [C(k, f)] fault assignments exhaustively. *)
+
+val cases : seed:int -> count:int -> Case.t list
+(** [count] cases with ids [0 .. count-1], case [i] drawn from leaf [i]
+    of the split tree rooted at [seed]. *)
+
+val alpha : Case.t -> float
+(** The exponential-strategy base the case prescribes:
+    [alpha_star *. alpha_scale]. *)
+
+val turning : Case.t -> robot:int -> Search_strategy.Turning.t
+(** A random-but-valid turning sequence for one robot: a geometric ramp
+    at the case's base with multiplicative noise in [[0.8, 1.25]], drawn
+    purely from [(turn_seed, robot, index)] — deterministic, memoisable,
+    and possibly non-monotone (intentionally: the normalisation
+    invariants need un-normalised inputs). *)
+
+val turning_group : Case.t -> Search_strategy.Turning.t array
+(** One sequence per robot, staggered in scale across the group. *)

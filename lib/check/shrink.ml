@@ -1,0 +1,60 @@
+(* Candidate order matters: each accepted candidate restarts the scan,
+   so the aggressive reductions (dropping whole targets, halving the
+   window) come before the cosmetic ones (rounding distances, zeroing
+   knobs).  Every candidate is validated — reductions that leave the
+   searching regime are silently dropped. *)
+
+let round_dist d = Float.max 1. (Float.round d)
+
+let candidates (c : Case.t) =
+  let drop_target i =
+    if List.length c.targets <= 1 then None
+    else Some { c with targets = List.filteri (fun j _ -> j <> i) c.targets }
+  in
+  let dropped_targets =
+    List.filter_map drop_target (List.init (List.length c.targets) Fun.id)
+  in
+  let halved =
+    let horizon = Float.max 10. (c.horizon /. 2.) in
+    {
+      c with
+      horizon;
+      targets = List.map (fun (r, d) -> (r, Float.min d horizon)) c.targets;
+    }
+  in
+  let structural =
+    [
+      { c with f = c.f - 1 };
+      { c with k = c.k - 1 };
+      { c with m = c.m - 1 };
+      halved;
+    ]
+  in
+  let cosmetic =
+    [
+      { c with targets = List.map (fun (r, d) -> (r, round_dist d)) c.targets };
+      { c with targets = List.map (fun (_, d) -> (0, d)) c.targets };
+      { c with alpha_scale = 1. };
+      { c with lambda_frac = 0.5 };
+      { c with turn_seed = 0 };
+    ]
+  in
+  dropped_targets @ structural @ cosmetic
+  |> List.filter (fun c' -> (not (Case.equal c' c)) && Case.valid c')
+
+let minimize ~still_fails case =
+  let budget = ref 500 in
+  let try_candidate c' =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      if still_fails c' then Some c' else None
+    end
+  in
+  let rec descend c =
+    match List.find_map try_candidate (candidates c) with
+    | Some c' when !budget > 0 -> descend c'
+    | Some c' -> c'
+    | None -> c
+  in
+  descend case

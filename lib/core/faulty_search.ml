@@ -74,6 +74,12 @@ module Fractional = Search_covering.Fractional
 module Induction = Search_covering.Induction
 module Frontier = Search_covering.Frontier
 
+(** {1 Property-based checking (fuzzing harness)} *)
+
+module Check = Search_check
+(** Submodules: [Check.Case], [Check.Gen], [Check.Invariant],
+    [Check.Shrink], [Check.Corpus], [Check.Fuzz]. *)
+
 (** {1 Parallel execution (domain pool, deterministic sharding)} *)
 
 module Pool = Search_exec.Pool

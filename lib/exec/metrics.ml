@@ -46,10 +46,29 @@ let read_file path =
     | Ok _ | Error _ -> None
   end
 
+(* The merge is a read-modify-write cycle: two bench runs writing the
+   same timings file concurrently (say --jobs 1 and --jobs 4 in parallel
+   CI lanes) would clobber each other's entries.  Serialisation is
+   two-level: a module mutex for domains of this process (fcntl locks do
+   not exclude within a process), and an advisory lock on a sidecar file
+   for other processes.  The new contents land via temp-file + rename in
+   the target directory, so a reader never observes a torn file. *)
+let write_mutex = Mutex.create ()
+
+let with_file_lock path f =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd (* also releases the lock *))
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
 let write t ~path =
   let ours =
     match to_json t with Json.List items -> items | _ -> assert false
   in
+  Mutex.protect write_mutex @@ fun () ->
+  with_file_lock (path ^ ".lock") @@ fun () ->
   let kept =
     match read_file path with
     | None -> []
@@ -61,9 +80,18 @@ let write t ~path =
             | None -> false)
           items
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string ~pretty:true (Json.List (kept @ ours)));
-      output_char oc '\n')
+  let tmp, oc =
+    Filename.open_temp_file
+      ~temp_dir:(Filename.dirname path)
+      ~mode:[ Open_binary ] "bench_timings" ".tmp"
+  in
+  match
+    output_string oc (Json.to_string ~pretty:true (Json.List (kept @ ours)));
+    output_char oc '\n';
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e

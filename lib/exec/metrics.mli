@@ -34,4 +34,11 @@ val to_json : t -> Search_numerics.Json.t
 val write : t -> path:string -> unit
 (** Merge into the JSON file at [path] (see above); creates it — but not
     its directory — when absent.  An unparsable existing file is
-    overwritten. *)
+    overwritten.
+
+    The read-merge-write cycle holds an advisory lock on a [path ^
+    ".lock"] sidecar (plus an in-process mutex: fcntl locks do not
+    exclude domains of one process), and the new contents are written to
+    a temp file in the same directory and renamed into place — two
+    concurrent bench runs cannot clobber each other's entries or leave a
+    torn file. *)

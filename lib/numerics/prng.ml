@@ -31,11 +31,33 @@ let bool t =
 
 let int ~bound t =
   if bound <= 0 then invalid_arg "Prng.int: need bound > 0";
-  let u, t = float t in
-  let v = int_of_float (u *. float_of_int bound) in
-  (min v (bound - 1), t)
+  (* Unbiased rejection sampling on the raw 64-bit stream.  Scaling a
+     53-bit float by [bound] (the former implementation) is biased and,
+     for bounds above 2^53, leaves whole residue classes unreachable
+     (floats near the top of the range are spaced hundreds apart).
+     Instead: accept a draw [v] only when it falls below the largest
+     multiple of [bound] (so every residue has exactly
+     [floor(2^64 / bound)] preimages) and reduce modulo [bound]. *)
+  let b = Int64.of_int bound in
+  (* 2^64 mod b == (2^64 - b) mod b, and 2^64 - b is [Int64.neg b]
+     read unsigned; [limit] = 2^64 - (2^64 mod b), with 0 standing for
+     2^64 itself (b a power of two: accept everything). *)
+  let r = Int64.unsigned_rem (Int64.neg b) b in
+  let limit = Int64.neg r in
+  let rec draw t =
+    let v, t = next_int64 t in
+    if Int64.equal limit 0L || Int64.unsigned_compare v limit < 0 then
+      (Int64.to_int (Int64.unsigned_rem v b), t)
+    else draw t
+  in
+  draw t
 
 let split t =
+  (* SplitMix64 split: both children get *mixed* states.  Handing the raw
+     first output [a] to the left child (the former implementation) made
+     the child's state a value that is simultaneously somebody's stream
+     output, so parent and child streams could interleave or collide
+     under the shared golden gamma. *)
   let a, t = next_int64 t in
   let b, _ = next_int64 t in
-  ({ state = a }, { state = mix b })
+  ({ state = mix a }, { state = mix b })

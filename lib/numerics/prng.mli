@@ -22,7 +22,12 @@ val float_range : lo:float -> hi:float -> t -> float * t
 val bool : t -> bool * t
 
 val int : bound:int -> t -> int * t
-(** Uniform in [[0, bound)].  Requires [bound > 0]. *)
+(** Uniform in [[0, bound)] — exactly uniform, by rejection sampling on
+    the 64-bit stream (every residue is reachable, even for bounds above
+    2^53).  Requires [bound > 0]. *)
 
 val split : t -> t * t
-(** Two independent generators derived from one state. *)
+(** Two independent generators derived from one state.  Both child
+    states are passed through the SplitMix64 finaliser, so neither
+    coincides with any stream {e output} — parent and child streams
+    cannot interleave. *)

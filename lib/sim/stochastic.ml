@@ -3,7 +3,13 @@ type distribution = { support : (World.point * float) list }
 let make support =
   if support = [] then invalid_arg "Stochastic.make: empty support";
   List.iter
-    (fun (_, w) -> if w <= 0. then invalid_arg "Stochastic.make: weight <= 0")
+    (fun (_, w) ->
+      (* the finiteness guard matters: [w <= 0.] is false for a NaN
+         weight, and a NaN total defeats the sum check below (every
+         comparison against NaN is false) *)
+      if not (Float.is_finite w) then
+        invalid_arg "Stochastic.make: weight not finite";
+      if w <= 0. then invalid_arg "Stochastic.make: weight <= 0")
     support;
   let total = List.fold_left (fun a (_, w) -> a +. w) 0. support in
   if Float.abs (total -. 1.) > 1e-9 then

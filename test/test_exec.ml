@@ -303,6 +303,43 @@ let test_metrics_write_merges () =
   | Ok _ -> Alcotest.fail "timings file is not a JSON list"
   | Error e -> Alcotest.fail ("unparsable timings file: " ^ e)
 
+let test_metrics_concurrent_writes () =
+  (* two domains hammer the same timings file; the advisory-locked
+     read-modify-write must interleave cleanly: the file stays parsable
+     and both job tags keep their final entries *)
+  let path = Filename.temp_file "metrics" ".json" in
+  let writer jobs =
+    Domain.spawn (fun () ->
+        for round = 1 to 12 do
+          let m = Metrics.create ~jobs () in
+          Metrics.record m ~experiment:"contended"
+            ~seconds:(float_of_int round);
+          Metrics.write m ~path
+        done)
+  in
+  let d1 = writer 1 and d4 = writer 4 in
+  Domain.join d1;
+  Domain.join d4;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ());
+  match Search_numerics.Json.of_string contents with
+  | Ok (Search_numerics.Json.List entries) ->
+      check_int "one surviving entry per jobs value" 2 (List.length entries);
+      let jobs_seen =
+        List.filter_map
+          (fun e ->
+            Option.bind (Search_numerics.Json.member "jobs" e)
+              Search_numerics.Json.to_int)
+          entries
+        |> List.sort_uniq compare
+      in
+      check_bool "both job tags present" true (jobs_seen = [ 1; 4 ])
+  | Ok _ -> Alcotest.fail "timings file is not a JSON list"
+  | Error e -> Alcotest.fail ("torn/unparsable timings file: " ^ e)
+
 (* ------------------------------------------------------------------ *)
 
 let tc name speed fn = Alcotest.test_case name speed fn
@@ -354,5 +391,7 @@ let () =
             test_metrics_record_and_total;
           tc "write merges across job counts" `Quick
             test_metrics_write_merges;
+          tc "concurrent writers do not clobber" `Quick
+            test_metrics_concurrent_writes;
         ] );
     ]

@@ -71,6 +71,81 @@ let test_prng_split_independent () =
   let va, _ = Prng.next_int64 a and vb, _ = Prng.next_int64 b in
   check_bool "split streams differ" false (Int64.equal va vb)
 
+let test_prng_int_distribution () =
+  (* rejection sampling is exactly uniform; with 20k draws over 10
+     buckets each count concentrates near 2000 (sd ~ 42) *)
+  let n = 20_000 and bound = 10 in
+  let counts = Array.make bound 0 in
+  let rec loop g i =
+    if i < n then begin
+      let v, g = Prng.int ~bound g in
+      counts.(v) <- counts.(v) + 1;
+      loop g (i + 1)
+    end
+  in
+  loop (Prng.make ~seed:20180723) 0;
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "bucket %d count %d within 2000 +- 200" i c)
+        true
+        (abs (c - 2000) < 200))
+    counts
+
+let test_prng_int_large_bound_reachable () =
+  (* the former float-scaling sampler could only produce multiples of
+     512 above 2^61 (53-bit mantissa): whole residue classes were
+     unreachable.  Rejection sampling reaches them. *)
+  let bound = max_int (* 2^62 - 1 *) in
+  let high_odd = ref 0 and high = ref 0 in
+  let rec loop g i =
+    if i < 400 then begin
+      let v, g = Prng.int ~bound g in
+      check_bool "in range" true (0 <= v && v < bound);
+      if v >= 1 lsl 61 then begin
+        incr high;
+        if v mod 512 <> 0 then incr high_odd
+      end;
+      loop g (i + 1)
+    end
+  in
+  loop (Prng.make ~seed:11) 0;
+  check_bool "about half the draws land in the top half" true (!high > 100);
+  check_bool "top-half draws hit residues not divisible by 512" true
+    (!high_odd > 0)
+
+let test_prng_split_stream_independence () =
+  (* parent pre-split stream, left child and right child: no output of
+     any stream may appear in another (the former split seeded the left
+     child with a raw parent output, putting its whole stream one gamma
+     step from values the parent hands out elsewhere) *)
+  let draws g n =
+    let rec loop g i acc =
+      if i = n then acc
+      else
+        let v, g = Prng.next_int64 g in
+        loop g (i + 1) (v :: acc)
+    in
+    loop g 0 []
+  in
+  let root = Prng.make ~seed:42 in
+  let l, r = Prng.split root in
+  let all = draws root 512 @ draws l 512 @ draws r 512 in
+  check_int "all 1536 outputs distinct" 1536
+    (List.length (List.sort_uniq Int64.compare all));
+  (* and the child streams look uniform: mean of 512 floats near 1/2 *)
+  let mean g =
+    let rec loop g i acc =
+      if i = 512 then acc /. 512.
+      else
+        let u, g = Prng.float g in
+        loop g (i + 1) (acc +. u)
+    in
+    loop g 0 0.
+  in
+  check_bool "left child mean near 1/2" true (Float.abs (mean l -. 0.5) < 0.05);
+  check_bool "right child mean near 1/2" true (Float.abs (mean r -. 0.5) < 0.05)
+
 (* ------------------------------------------------------------------ *)
 (* Csv_out *)
 
@@ -483,7 +558,12 @@ let () =
           tc "float range" `Quick test_prng_float_range;
           tc "uniformity" `Quick test_prng_uniformity;
           tc "int bound" `Quick test_prng_int_bound;
+          tc "int distribution" `Quick test_prng_int_distribution;
+          tc "int large bounds reachable" `Quick
+            test_prng_int_large_bound_reachable;
           tc "split" `Quick test_prng_split_independent;
+          tc "split stream independence" `Quick
+            test_prng_split_stream_independence;
         ] );
       ( "csv",
         [

@@ -275,6 +275,112 @@ let test_engine_ratio_infinity () =
   check_bool "undetectable -> infinite ratio" true
     (Engine.detection_ratio trs ~f:2 ~target ~time_horizon:1000. = infinity)
 
+(* all size-[f] subsets of robots [0 .. k-1], as fault assignments *)
+let all_f_assignments ~k ~f =
+  let rec subsets n = function
+    | [] -> if n = 0 then [ [] ] else []
+    | x :: rest ->
+        if n = 0 then [ [] ]
+        else
+          List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
+  in
+  List.map
+    (fun faulty_set ->
+      let faulty = Array.make k false in
+      List.iter (fun r -> faulty.(r) <- true) faulty_set;
+      Fault.make Fault.Crash ~faulty)
+    (subsets f (List.init k Fun.id))
+
+let test_engine_worst_exhaustive_assignments () =
+  (* worst-case detection is the max of fixed-assignment detection over
+     every C(k, f) fault assignment — checked by full enumeration *)
+  let k = 4 and f = 2 in
+  let trs =
+    Array.init k (fun r ->
+        Tr.compile
+          (It.of_line_turns (fun i ->
+               (1. +. (0.3 *. float_of_int r)) *. (2. ** float_of_int i))))
+  in
+  let assignments = all_f_assignments ~k ~f in
+  check_int "C(4,2) assignments" 6 (List.length assignments);
+  let to_inf = Option.value ~default:infinity in
+  List.iter
+    (fun dist ->
+      let target = W.point W.line ~ray:1 ~dist in
+      let worst =
+        to_inf (Engine.detection_time_worst trs ~f ~target ~horizon:500.)
+      in
+      let fixed_max =
+        List.fold_left
+          (fun acc assignment ->
+            Float.max acc
+              (to_inf
+                 (Engine.detection_time_fixed trs ~assignment ~target
+                    ~horizon:500.)))
+          neg_infinity assignments
+      in
+      check_bool "worst = max over all fixed assignments (exact)" true
+        (worst = fixed_max))
+    [ 1.1; 3.3; 17.0; 490. ]
+
+let test_engine_worst_exhaustive_tie () =
+  (* identical robots: every first visit ties, so every fixed assignment
+     yields the same detection time, and it equals the worst case *)
+  let k = 4 and f = 1 in
+  let trs =
+    Array.init k (fun _ ->
+        Tr.compile (It.of_line_turns (fun i -> 2. ** float_of_int i)))
+  in
+  let target = W.point W.line ~ray:0 ~dist:1.7 in
+  let worst = Engine.detection_time_worst trs ~f ~target ~horizon:100. in
+  check_bool "tie detected" true (worst <> None);
+  List.iter
+    (fun assignment ->
+      check_bool "every fixed assignment equals worst" true
+        (Engine.detection_time_fixed trs ~assignment ~target ~horizon:100.
+        = worst))
+    (all_f_assignments ~k ~f)
+
+(* ------------------------------------------------------------------ *)
+(* Stochastic *)
+
+module St = Search_sim.Stochastic
+
+let test_stochastic_sum_tolerance () =
+  let p = W.point W.line ~ray:0 ~dist:2. in
+  let q = W.point W.line ~ray:1 ~dist:2. in
+  (* off by 9e-10: inside the 1e-9 tolerance, accepted and renormalised *)
+  let d = St.make [ (p, 0.5); (q, 0.5 +. 9e-10) ] in
+  checkf "renormalised E|d|" 2. (St.expected_distance d);
+  (* off by 2e-9: outside the tolerance, rejected *)
+  Alcotest.check_raises "sum off by 2e-9"
+    (Invalid_argument "Stochastic.make: weights must sum to 1") (fun () ->
+      ignore (St.make [ (p, 0.5); (q, 0.5 +. 2e-9) ]))
+
+let test_stochastic_single_point () =
+  let p = W.point W.line ~ray:0 ~dist:5. in
+  let d = St.make [ (p, 1.) ] in
+  checkf "E|d| is the point" 5. (St.expected_distance d);
+  checkf "matches point_mass" (St.expected_distance (St.point_mass p))
+    (St.expected_distance d)
+
+let test_stochastic_rejects_bad_weights () =
+  let p = W.point W.line ~ray:0 ~dist:1. in
+  let q = W.point W.line ~ray:1 ~dist:2. in
+  let expect_invalid msg support =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (St.make support))
+  in
+  expect_invalid "Stochastic.make: empty support" [];
+  (* NaN weights used to slip past [w <= 0.] (false for NaN) and then
+     poison the sum check; now rejected up front *)
+  expect_invalid "Stochastic.make: weight not finite"
+    [ (p, 0.5); (q, Float.nan) ];
+  expect_invalid "Stochastic.make: weight not finite"
+    [ (p, 0.5); (q, infinity) ];
+  expect_invalid "Stochastic.make: weight <= 0" [ (p, 1.); (q, 0.) ];
+  expect_invalid "Stochastic.make: weight <= 0" [ (p, 1.5); (q, -0.5) ]
+
 (* ------------------------------------------------------------------ *)
 (* Adversary / Competitive *)
 
@@ -791,6 +897,15 @@ let () =
             test_engine_worst_matches_fixed_worst_assignment;
           tc "not enough visitors" `Quick test_engine_not_enough_visitors;
           tc "infinite ratio" `Quick test_engine_ratio_infinity;
+          tc "exhaustive assignments" `Quick
+            test_engine_worst_exhaustive_assignments;
+          tc "exhaustive tie" `Quick test_engine_worst_exhaustive_tie;
+        ] );
+      ( "stochastic",
+        [
+          tc "sum tolerance" `Quick test_stochastic_sum_tolerance;
+          tc "single point" `Quick test_stochastic_single_point;
+          tc "bad weights rejected" `Quick test_stochastic_rejects_bad_weights;
         ] );
       ( "adversary",
         [
