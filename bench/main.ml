@@ -114,12 +114,14 @@ let t2_byzantine () =
     (fun (p : FS.Byzantine.prior) ->
       let nb = FS.Byzantine.lower_bound ~k:p.FS.Byzantine.k ~f:p.FS.Byzantine.f in
       let prior =
-        if Float.is_nan p.FS.Byzantine.isaac16_bound then "(none quoted)"
-        else T.cell_f ~decimals:2 p.FS.Byzantine.isaac16_bound
+        match p.FS.Byzantine.isaac16_bound with
+        | None -> "(none quoted)"
+        | Some b -> T.cell_f ~decimals:2 b
       in
       let improvement =
-        if Float.is_nan p.FS.Byzantine.isaac16_bound then "-"
-        else T.cell_f ~decimals:4 (FS.Byzantine.improvement p)
+        match FS.Byzantine.improvement p with
+        | None -> "-"
+        | Some d -> T.cell_f ~decimals:4 d
       in
       T.add_row tbl
         [
@@ -398,8 +400,9 @@ let f3_potential_growth () =
       T.add_row tbl
         [
           T.cell_f ~decimals:2 lambda;
-          (if lhb = infinity then "inf" else T.cell_f ~decimals:2 lhb);
-          (if lhb = infinity then "inf"
+          (if Float.equal lhb infinity then "inf"
+           else T.cell_f ~decimals:2 lhb);
+          (if Float.equal lhb infinity then "inf"
            else T.cell_f ~decimals:2 (lhb /. log 10.));
         ])
     [ 7.0; 8.0; 8.5; 8.9; 8.99; 9.0; 9.1 ];
@@ -1001,21 +1004,23 @@ let micro_benchmarks () =
     (fun name est ->
       let ns =
         match Analyze.OLS.estimates est with
-        | Some (v :: _) -> v
-        | Some [] | None -> nan
+        | Some (v :: _) -> Some v
+        | Some [] | None -> None
       in
       rows := (name, ns) :: !rows)
     results;
   List.iter
     (fun (name, ns) ->
       let cell =
-        if Float.is_nan ns then "n/a"
-        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-        else Printf.sprintf "%8.1f ns" ns
+        match ns with
+        | None -> "n/a"
+        | Some ns ->
+            if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.1f ns" ns
       in
       T.add_row tbl [ name; cell ])
-    (List.sort compare !rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
   T.print tbl
 
 (* ------------------------------------------------------------------ *)

@@ -611,6 +611,67 @@ let fuzz_cmd =
       $ corpus_dir_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let root_arg =
+  let doc = "Project root to lint (must contain lib/, bin/, ...)." in
+  Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let rules_arg =
+  let doc =
+    "Comma-separated rule ids to run (default: all).  Use \
+     $(b,--rules list) to print the registry."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let lint_run root format rules jobs =
+  if not (check_jobs jobs) then 1
+  else
+    let module A = FS.Analysis in
+    match rules with
+    | Some "list" ->
+        List.iter
+          (fun r ->
+            Format.printf "%-24s %-7s %s@." r.A.Rules.id
+              (A.Finding.severity_to_string r.A.Rules.severity)
+              r.A.Rules.doc)
+          A.Rules.all;
+        0
+    | _ -> (
+        let rules = Option.map (String.split_on_char ',') rules in
+        match A.Driver.load_allow ~root with
+        | Error msg ->
+            Format.eprintf "lint: %s@." msg;
+            1
+        | Ok allow -> (
+            match A.Driver.run ?jobs ?rules ~allow ~root () with
+            | exception Invalid_argument msg ->
+                Format.eprintf "lint: %s@." msg;
+                1
+            | outcome ->
+                print_string
+                  (match format with
+                  | `Text -> A.Driver.render_text outcome
+                  | `Json -> A.Driver.render_json outcome);
+                if outcome.A.Driver.findings = [] then 0 else 1))
+
+let lint_cmd =
+  let doc =
+    "Determinism & numeric-safety lint over lib/, bin/, bench/ and test/ \
+     (exit 1 on any finding not suppressed by lint.allow)."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const lint_run $ root_arg $ format_arg $ rules_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "parallel search on m rays with faulty robots (PODC 2018)" in
@@ -619,6 +680,7 @@ let main_cmd =
     [
       bounds_cmd; simulate_cmd; certify_cmd; recheck_cmd; sweep_cmd; trace_cmd;
       phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd; fuzz_cmd;
+      lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,48 @@
+type t = { pairs : (string * string) list }
+
+let empty = { pairs = [] }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok { pairs = List.rev acc }
+    | line :: rest -> (
+        match split_words (strip_comment line) with
+        | [] -> go (lineno + 1) acc rest
+        | [ rule; path ] -> go (lineno + 1) ((rule, path) :: acc) rest
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "lint.allow:%d: expected '<rule-id> <path>' (plus optional \
+                  # comment), got %S"
+                 lineno (String.trim line)))
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse contents
+
+let permits t ~rule ~file =
+  List.exists
+    (fun (r, p) -> (r = "*" || String.equal r rule) && String.equal p file)
+    t.pairs
+
+let entries t = t.pairs

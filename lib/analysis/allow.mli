@@ -1,0 +1,30 @@
+(** The checked-in suppression list ([lint.allow] at the lint root).
+
+    Suppressions are per-(rule, file) so that every deliberate
+    exception to a rule is one reviewable line in one diffable file —
+    no inline magic comments scattered through the tree.  Format, one
+    entry per line:
+
+    {v
+    # comment (or trailing comment after an entry)
+    <rule-id> <path/relative/to/root.ml>   # why this is deliberate
+    v}
+
+    A rule id of [*] suppresses every rule for that file. *)
+
+type t
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Parse file contents.  Errors name the offending line. *)
+
+val load : string -> (t, string) result
+(** [load path] reads and parses [path]; a missing file is an empty
+    allowlist (so fresh checkouts lint strictly). *)
+
+val permits : t -> rule:string -> file:string -> bool
+(** Is [(rule, file)] suppressed? *)
+
+val entries : t -> (string * string) list
+(** All (rule, file) pairs, in file order — for diagnostics. *)

@@ -1,0 +1,122 @@
+module Table = Search_numerics.Table
+module Json = Search_numerics.Json
+module Pool = Search_exec.Pool
+module Par = Search_exec.Par
+
+type outcome = {
+  findings : Finding.t list;
+  suppressed : int;
+  files : int;
+}
+
+let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
+
+let load_allow ~root = Allow.load (Filename.concat root "lint.allow")
+
+let validate_rules = function
+  | None -> ()
+  | Some ids ->
+      List.iter
+        (fun id ->
+          match Rules.find id with
+          | Some _ -> ()
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Driver.run: unknown rule %S (known: %s)" id
+                   (String.concat ", "
+                      (List.map (fun r -> r.Rules.id) Rules.all))))
+        ids
+
+let check_source ?rules ~has_mli src =
+  let ctx = { Rules.rel_path = src.Source.rel_path; has_mli } in
+  Rules.run ?only:rules ctx src
+
+let lint_string ?rules ?(has_mli = true) ~path contents =
+  validate_rules rules;
+  match Source.parse_string ~rel_path:path contents with
+  | Error finding -> [ finding ]
+  | Ok src -> List.sort_uniq Finding.compare (check_source ?rules ~has_mli src)
+
+let run ?jobs ?rules ?(dirs = default_dirs) ?(allow = Allow.empty) ~root () =
+  validate_rules rules;
+  let paths = Source.discover ~root ~dirs in
+  let mli_present =
+    List.filter (fun p -> Filename.check_suffix p ".mli") paths
+  in
+  let check rel_path =
+    let has_mli =
+      Filename.check_suffix rel_path ".ml"
+      && List.mem (rel_path ^ "i") mli_present
+      || Filename.check_suffix rel_path ".mli"
+    in
+    match Source.parse_file ~root rel_path with
+    | Error finding -> [ finding ]
+    | Ok src -> check_source ?rules ~has_mli src
+  in
+  let per_file =
+    Pool.with_pool ?jobs @@ fun pool -> Par.parallel_map pool paths ~f:check
+  in
+  let all = List.sort_uniq Finding.compare (List.concat per_file) in
+  let kept, dropped =
+    List.partition
+      (fun f ->
+        not (Allow.permits allow ~rule:f.Finding.rule ~file:f.Finding.file))
+      all
+  in
+  { findings = kept; suppressed = List.length dropped; files = List.length paths }
+
+let summary o =
+  let errors, warnings =
+    List.partition (fun f -> f.Finding.severity = Finding.Error) o.findings
+  in
+  Printf.sprintf
+    "%d finding%s (%d error%s, %d warning%s) in %d files; %d suppressed by \
+     lint.allow"
+    (List.length o.findings)
+    (if List.length o.findings = 1 then "" else "s")
+    (List.length errors)
+    (if List.length errors = 1 then "" else "s")
+    (List.length warnings)
+    (if List.length warnings = 1 then "" else "s")
+    o.files o.suppressed
+
+let render_text o =
+  let buf = Buffer.create 1024 in
+  (match o.findings with
+  | [] -> ()
+  | findings ->
+      let tbl =
+        Table.create
+          ~title:"lint findings"
+          [
+            ("location", Table.Left); ("rule", Table.Left);
+            ("severity", Table.Left); ("message", Table.Left);
+          ]
+      in
+      List.iter
+        (fun f ->
+          Table.add_row tbl
+            [
+              Printf.sprintf "%s:%d:%d" f.Finding.file f.Finding.line
+                f.Finding.col;
+              f.Finding.rule;
+              Finding.severity_to_string f.Finding.severity;
+              (match f.Finding.suggestion with
+              | None -> f.Finding.message
+              | Some s -> f.Finding.message ^ " -- " ^ s);
+            ])
+        findings;
+      Buffer.add_string buf (Table.render tbl));
+  Buffer.add_string buf (summary o);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_json o =
+  Json.to_string ~pretty:true
+    (Json.Assoc
+       [
+         ("files", Json.Number (float_of_int o.files));
+         ("suppressed", Json.Number (float_of_int o.suppressed));
+         ("findings", Json.List (List.map Finding.to_json o.findings));
+       ])
+  ^ "\n"

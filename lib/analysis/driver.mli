@@ -1,0 +1,49 @@
+(** The lint driver: discover, parse, check, filter, render.
+
+    Determinism contract (same as the rest of the repo): the outcome —
+    including the rendered bytes — is a pure function of the source
+    tree, the rule selection and the allowlist.  File discovery is
+    sorted, findings are totally ordered ({!Finding.compare}), and the
+    parallel map preserves input order, so [--jobs 1] and [--jobs 8]
+    emit identical reports. *)
+
+type outcome = {
+  findings : Finding.t list;  (** surviving findings, sorted *)
+  suppressed : int;  (** findings removed by the allowlist *)
+  files : int;  (** source files scanned *)
+}
+
+val default_dirs : string list
+(** [["bench"; "bin"; "lib"; "test"]] — the linted roots. *)
+
+val load_allow : root:string -> (Allow.t, string) result
+(** Read [root/lint.allow] (missing file = empty allowlist). *)
+
+val run :
+  ?jobs:int ->
+  ?rules:string list ->
+  ?dirs:string list ->
+  ?allow:Allow.t ->
+  root:string ->
+  unit ->
+  outcome
+(** Lint every [.ml]/[.mli] under [root/dir] for [dir] in [dirs]
+    (default {!default_dirs}).  [rules] restricts to the given rule
+    ids ({!Rules.all} by default; unknown ids raise
+    [Invalid_argument]).  [jobs] sizes the {!Search_exec.Pool} used to
+    fan files out across domains. *)
+
+val lint_string :
+  ?rules:string list -> ?has_mli:bool -> path:string -> string -> Finding.t list
+(** Lint in-memory contents as if read from [path] (root-relative, so
+    path-scoped rules apply the same way); no allowlist.  [has_mli]
+    (default [true]) feeds the [mli-coverage] rule.  The fixture entry
+    point for [test/test_analysis.ml]. *)
+
+val render_text : outcome -> string
+(** Table of findings (via {!Search_numerics.Table}) plus a summary
+    line. *)
+
+val render_json : outcome -> string
+(** [{"files": .., "suppressed": .., "findings": [..]}], pretty,
+    trailing newline; round-trips through {!Finding.of_json}. *)

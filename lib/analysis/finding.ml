@@ -1,0 +1,89 @@
+module Json = Search_numerics.Json
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  suggestion : string option;
+}
+
+let v ~rule ~severity ~file ?suggestion ~loc message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    severity;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message;
+    suggestion;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+let to_json t =
+  Json.Assoc
+    ([
+       ("rule", Json.String t.rule);
+       ("severity", Json.String (severity_to_string t.severity));
+       ("file", Json.String t.file);
+       ("line", Json.Number (float_of_int t.line));
+       ("col", Json.Number (float_of_int t.col));
+       ("message", Json.String t.message);
+     ]
+    @
+    match t.suggestion with
+    | None -> []
+    | Some s -> [ ("suggestion", Json.String s) ])
+
+let of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_string_value with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* rule = str "rule" in
+  let* sev = str "severity" in
+  let* severity =
+    match severity_of_string sev with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown severity %S" sev)
+  in
+  let* file = str "file" in
+  let* line = int "line" in
+  let* col = int "col" in
+  let* message = str "message" in
+  let suggestion = Option.bind (Json.member "suggestion" j) Json.to_string_value in
+  Ok { rule; severity; file; line; col; message; suggestion }
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message

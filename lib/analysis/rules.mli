@@ -1,0 +1,45 @@
+(** The rule registry.
+
+    Every rule is a syntactic pass over one parsed source file; rules
+    never see type information, so each one documents (in [doc] and in
+    DESIGN.md) the approximation it makes.  Rules are derived from this
+    repo's actual failure modes — each has a motivating bug from PR 1
+    or PR 2 — and their union is the project's determinism and
+    numeric-safety contract.
+
+    Rule ids (stable, used in findings and [lint.allow]):
+    - [poly-compare] — polymorphic [compare]/[=] hazards
+    - [nondet] — ambient nondeterminism ([Random], wall clocks, [Hashtbl.hash])
+    - [float-hygiene] — NaN literals, unguarded [float_of_string], [/. 0.]
+    - [lock-discipline] — bare [Mutex.lock]/[unlock]
+    - [unsafe-ops] — [Obj.magic], [unsafe_get]/[set], [%identity]
+    - [output-discipline] — direct stdout/stderr printing inside [lib/]
+    - [mli-coverage] — [lib/] modules without an interface file
+    - [closed-variant-wildcard] — catch-all [_] in matches on closed
+      domain variants
+    - [global-mutable-state] — top-level refs/tables in [lib/]
+
+    (The driver adds a tenth pseudo-rule, [parse], for files the
+    compiler front end rejects.) *)
+
+type ctx = {
+  rel_path : string;  (** root-relative path of the file under scrutiny *)
+  has_mli : bool;  (** does a sibling [.mli] exist? ([mli-coverage]) *)
+}
+
+type rule = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;  (** one-line description for [--rules] listings *)
+  applies : string -> bool;  (** path scope, e.g. [lib/] only *)
+  check : ctx -> Source.t -> Finding.t list;
+}
+
+val all : rule list
+(** The registry, in reporting order. *)
+
+val find : string -> rule option
+
+val run : ?only:string list -> ctx -> Source.t -> Finding.t list
+(** Run every registered rule (or just [only]) whose [applies] accepts
+    the file.  Findings come back unsorted; the driver sorts. *)

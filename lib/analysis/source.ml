@@ -1,0 +1,79 @@
+type ast =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+
+type t = { rel_path : string; ast : ast }
+
+let skip_dir name =
+  name = "_build" || name = "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let discover ~root ~dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false -> if is_source rel then acc := rel :: !acc
+    | true ->
+        if not (skip_dir (Filename.basename rel)) then
+          Array.iter
+            (fun entry -> walk (rel ^ "/" ^ entry))
+            (let entries = Sys.readdir abs in
+             Array.sort String.compare entries;
+             entries)
+  in
+  List.iter
+    (fun dir -> if Sys.file_exists (Filename.concat root dir) then walk dir)
+    dirs;
+  List.sort String.compare !acc
+
+(* The compiler's lexer and error machinery use global state
+   (Location.input_name, the lexer's comment accumulator), so parsing
+   is serialised under one mutex; rule walking — the pure Parsetree
+   traversal — runs in parallel.  Files are small, the parse is a few
+   hundred microseconds each: correctness over micro-parallelism. *)
+let parse_mutex = Mutex.create ()
+
+let parse_contents ~rel_path contents =
+  Mutex.protect parse_mutex @@ fun () ->
+  Location.input_name := rel_path;
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf rel_path;
+  match
+    if Filename.check_suffix rel_path ".mli" then
+      Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with
+  | ast -> Ok { rel_path; ast }
+  | exception exn ->
+      let message, loc =
+        match Location.error_of_exn exn with
+        | Some (`Ok (report : Location.report)) ->
+            ( Format.asprintf "@[%t@]" report.Location.main.Location.txt,
+              report.Location.main.Location.loc )
+        | _ -> (Printexc.to_string exn, Location.in_file rel_path)
+      in
+      Error
+        (Finding.v ~rule:"parse" ~severity:Finding.Error ~file:rel_path ~loc
+           (Printf.sprintf "syntax error: %s" (String.trim message)))
+
+let parse_string ~rel_path contents = parse_contents ~rel_path contents
+
+let parse_file ~root rel_path =
+  let abs = Filename.concat root rel_path in
+  match
+    let ic = open_in_bin abs in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      Error
+        (Finding.v ~rule:"parse" ~severity:Finding.Error ~file:rel_path
+           ~loc:(Location.in_file rel_path)
+           (Printf.sprintf "cannot read file: %s" msg))
+  | contents -> parse_contents ~rel_path contents

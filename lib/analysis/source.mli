@@ -1,0 +1,31 @@
+(** Source discovery and parsing (compiler-libs front end).
+
+    The linter parses with the compiler's own lexer and parser
+    ([compiler-libs.common]) so it can never disagree with the build
+    about what the code says; no type information is computed, so the
+    rules in {!Rules} are syntactic approximations (documented per
+    rule in DESIGN.md). *)
+
+type ast =
+  | Impl of Parsetree.structure  (** a [.ml] *)
+  | Intf of Parsetree.signature  (** a [.mli] *)
+
+type t = {
+  rel_path : string;  (** ['/']-separated path relative to the root *)
+  ast : ast;
+}
+
+val discover : root:string -> dirs:string list -> string list
+(** All [.ml]/[.mli] files under [root/dir] for each [dir], as sorted
+    root-relative paths.  Directories named [_build], [_opam] or
+    starting with ['.'] are skipped.  A [dir] that does not exist
+    contributes nothing (so the same invocation works on partial
+    checkouts).  Deterministic: sorted with [String.compare]. *)
+
+val parse_file : root:string -> string -> (t, Finding.t) result
+(** Parse [root/rel_path]; a syntax error (or unreadable file) becomes
+    a [parse] finding at the error location. *)
+
+val parse_string : rel_path:string -> string -> (t, Finding.t) result
+(** Same from in-memory contents — the test fixture entry point.
+    [rel_path] decides implementation vs interface by extension. *)

@@ -21,15 +21,15 @@ val b31_exact : float
 (** The closed form [(8/3) * 4^(1/3) + 1] quoted in the introduction for
     [B(3, 1)]; equals [lower_bound ~k:3 ~f:1]. *)
 
-type prior = { k : int; f : int; isaac16_bound : float }
+type prior = { k : int; f : int; isaac16_bound : float option }
 (** A previously published Byzantine lower bound, for comparison tables. *)
 
 val isaac16_priors : prior list
 (** The bounds from the ISAAC'16 paper that Section 1 compares against
     (the paper quotes B(3,1) >= 3.93 explicitly; further entries use the
     crash-free trivial bounds as conservative stand-ins and are marked by
-    [isaac16_bound = nan] when no published figure is quoted). *)
+    [isaac16_bound = None] when no published figure is quoted). *)
 
-val improvement : prior -> float
+val improvement : prior -> float option
 (** [lower_bound] minus the prior bound — how much the paper's transfer
-    improves the state of the art (nan when the prior is unknown). *)
+    improves the state of the art ([None] when the prior is unknown). *)

@@ -17,7 +17,7 @@ let rho t = float_of_int (q t) /. float_of_int t.k
 type regime = Unsolvable | Ratio_one | Searching
 
 let regime t =
-  if t.f = t.k then Unsolvable
+  if Int.equal t.f t.k then Unsolvable
   else if t.k >= q t then Ratio_one
   else Searching
 

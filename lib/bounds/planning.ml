@@ -37,7 +37,7 @@ let max_faults ~m ~k ~lambda =
 
 let rho_for_lambda ~lambda =
   if lambda < 3. then invalid_arg "Planning.rho_for_lambda: need lambda >= 3";
-  if lambda = 3. then 1.
+  if Float.equal lambda 3. then 1.
   else
     (* lambda(rho) is strictly increasing; bracket and bisect *)
     let target rho = (2. *. Formulas.mu_rho rho) +. 1. -. lambda in

@@ -47,7 +47,16 @@ let validate t =
 
 let valid t = Result.is_ok (validate t)
 let params t = P.make ~m:t.m ~k:t.k ~f:t.f
-let equal (a : t) b = a = b
+let equal (a : t) b =
+  Int.equal a.id b.id && Int.equal a.m b.m && Int.equal a.k b.k
+  && Int.equal a.f b.f
+  && Float.equal a.horizon b.horizon
+  && Float.equal a.alpha_scale b.alpha_scale
+  && Float.equal a.lambda_frac b.lambda_frac
+  && List.equal
+       (fun (r1, d1) (r2, d2) -> Int.equal r1 r2 && Float.equal d1 d2)
+       a.targets b.targets
+  && Int.equal a.turn_seed b.turn_seed
 
 let to_json t =
   Json.Assoc

@@ -112,7 +112,7 @@ let assignments ~k ~f =
 let random_assignment ~k ~f g =
   let arr = Array.make k false in
   let rec place placed g =
-    if placed = f then g
+    if Int.equal placed f then g
     else
       let r, g = Prng.int ~bound:k g in
       if arr.(r) then place placed g
@@ -149,7 +149,7 @@ let inv_fixed_vs_worst ctx =
             (fun acc faulty -> Float.max acc (fixed_at target faulty))
             neg_infinity all
         in
-        if fixed_max = worst then []
+        if Float.equal fixed_max worst then []
         else
           failf
             "target %a: worst %.17g <> max over all %d assignments %.17g"
@@ -182,7 +182,7 @@ let inv_fixed_vs_worst ctx =
              World.pp_point target (List.length over))
         @
         let at_adv = fixed_at target adversarial in
-        if at_adv = worst then []
+        if Float.equal at_adv worst then []
         else
           failf "target %a: adversarial assignment gives %.17g, worst %.17g"
             World.pp_point target at_adv worst
@@ -232,7 +232,7 @@ let inv_byzantine ctx =
           (Engine.detection_time_worst ctx.trajectories ~f:(2 * f) ~target
              ~horizon:ctx.time_horizon)
       in
-      (if byz = crash_2f then []
+      (if Float.equal byz crash_2f then []
        else
          failf "target %a: Byzantine worst %.17g <> crash worst with 2f %.17g"
            World.pp_point target byz crash_2f)
@@ -270,7 +270,7 @@ let inv_byzantine ctx =
             World.pp_point target World.pp_point p t)
       @
       let confirmed = to_inf res.Byz.confirmed_at in
-      if confirmed = byz then []
+      if Float.equal confirmed byz then []
       else
         failf "target %a: confirmed_at %.17g <> worst-case %.17g"
           World.pp_point target confirmed byz)
@@ -320,7 +320,8 @@ let inv_coverage_theorem ctx =
   @ (if pr >= l0 -. (1e-9 *. l0) then []
      else failf "strategy ratio %.17g below the lower bound %.17g" pr l0)
   @
-  if ctx.case.Case.alpha_scale <> 1. || rel_close pr l0 1e-6 then []
+  if (not (Float.equal ctx.case.Case.alpha_scale 1.)) || rel_close pr l0 1e-6
+  then []
   else failf "optimal-base ratio %.17g <> lambda0 %.17g" pr l0
 
 (* ------------------------------------------------------------------ *)
@@ -342,7 +343,7 @@ let line_intervals ctx ~n =
 let cert_consistency name verdict ~intervals ~recheck ~demand ~n =
   match (verdict : Certificate.verdict) with
   | Certificate.Refuted_gap { at; multiplicity; demand = d } ->
-      (if d = demand then []
+      (if Int.equal d demand then []
        else failf "%s: verdict demand %d <> instance demand %d" name d demand)
       @ (if multiplicity < d then []
          else
@@ -352,7 +353,7 @@ let cert_consistency name verdict ~intervals ~recheck ~demand ~n =
          else failf "%s: witness %.17g outside [1, %g]" name at n)
       @
       let recount = Sweep.multiplicity_at at (intervals ()) in
-      if recount = multiplicity then []
+      if Int.equal recount multiplicity then []
       else
         failf "%s: pointwise recount %d <> sweep multiplicity %d at %.17g"
           name recount multiplicity at
@@ -406,18 +407,18 @@ let inv_profile ctx =
   let profile = Sweep.coverage_profile ~within:(1., n) ivs in
   let rec walk prev probs = function
     | [] ->
-        if prev = n then probs
+        if Float.equal prev n then probs
         else probs @ failf "profile stops at %.17g, not %g" prev n
     | (a, b, mult) :: rest ->
         let probs =
           probs
-          @ (if a = prev then []
+          @ (if Float.equal a prev then []
              else failf "profile pieces not contiguous: %.17g then %.17g" prev a)
           @ (if a < b then [] else failf "degenerate piece [%.17g, %.17g]" a b)
           @
           let mid = 0.5 *. (a +. b) in
           let recount = Sweep.multiplicity_at mid ivs in
-          if recount = mult then []
+          if Int.equal recount mult then []
           else
             failf "interior multiplicity %d at %.17g <> profile's %d" recount
               mid mult
@@ -431,7 +432,7 @@ let inv_profile ctx =
     List.fold_left (fun acc (_, _, m) -> Stdlib.min acc m) max_int profile
   in
   let min_sweep = Sweep.min_multiplicity ~within:(1., n) ivs in
-  if profile <> [] && min_sweep <> min_profile then
+  if profile <> [] && not (Int.equal min_sweep min_profile) then
     failf "min_multiplicity %d <> profile minimum %d" min_sweep min_profile
   else []
 
@@ -502,7 +503,7 @@ let inv_stochastic ctx =
         (Stochastic.point_mass first) ~horizon:h
     in
     let w = worst first in
-    if e_pm = w then []
+    if Float.equal e_pm w then []
     else
       failf "point-mass expectation %.17g <> worst-case detection %.17g" e_pm w
   in
@@ -548,6 +549,49 @@ let inv_exec ctx =
   else failf "sharded map differs between pool sizes 1 and 3"
 
 (* ------------------------------------------------------------------ *)
+(* analysis.self_clean                                                 *)
+
+(* The lint verdict is a property of the source tree, not of the case,
+   so it is computed once per process (the findings are deterministic,
+   so every case reports the same list).  When the sources are not
+   reachable from the working directory — an installed binary, a
+   sandboxed runner — the invariant is vacuously satisfied. *)
+let lint_repo_root () =
+  let looks_like_root dir =
+    Sys.file_exists (Filename.concat dir "dune-project")
+    && Sys.file_exists (Filename.concat dir "lint.allow")
+    && Sys.file_exists (Filename.concat dir "lib")
+  in
+  let rec up dir depth =
+    if depth > 8 then None
+    else if looks_like_root dir then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let lint_violations =
+  lazy
+    (match lint_repo_root () with
+    | None -> []
+    | Some root -> (
+        match Search_analysis.Driver.load_allow ~root with
+        | Error msg -> failf "lint.allow unreadable: %s" msg
+        | Ok allow ->
+            let out = Search_analysis.Driver.run ~jobs:1 ~allow ~root () in
+            List.map
+              (Format.asprintf "%a" Search_analysis.Finding.pp)
+              out.Search_analysis.Driver.findings))
+
+(* [Lazy.force] from concurrently checking domains can raise [RacyLazy];
+   serialize the one-time computation. *)
+let lint_force_mutex = Mutex.create ()
+
+let inv_analysis _ctx =
+  Mutex.protect lint_force_mutex (fun () -> Lazy.force lint_violations)
+
+(* ------------------------------------------------------------------ *)
 
 let catalogue : (string * (ctx -> string list)) list =
   [
@@ -562,6 +606,7 @@ let catalogue : (string * (ctx -> string list)) list =
     ("normalize.monotone_coverage", inv_normalize);
     ("stochastic.oracles", inv_stochastic);
     ("exec.jobs_invariance", inv_exec);
+    ("analysis.self_clean", inv_analysis);
   ]
 
 let names = List.map fst catalogue

@@ -9,7 +9,7 @@ let round_dist d = Float.max 1. (Float.round d)
 let candidates (c : Case.t) =
   let drop_target i =
     if List.length c.targets <= 1 then None
-    else Some { c with targets = List.filteri (fun j _ -> j <> i) c.targets }
+    else Some { c with targets = List.filteri (fun j _ -> not (Int.equal j i)) c.targets }
   in
   let dropped_targets =
     List.filter_map drop_target (List.init (List.length c.targets) Fun.id)

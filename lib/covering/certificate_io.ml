@@ -271,7 +271,7 @@ let recheck parsed ~turns =
   | Refuted_gap { at; multiplicity }, Certificate.Refuted_gap g ->
       if not (close_rel at g.at) then
         Error (Printf.sprintf "gap witness moved: recorded %g, recomputed %g" at g.at)
-      else if multiplicity <> g.multiplicity then
+      else if not (Int.equal multiplicity g.multiplicity) then
         Error
           (Printf.sprintf "gap multiplicity: recorded %d, recomputed %d"
              multiplicity g.multiplicity)

@@ -11,7 +11,7 @@ let per_robot_lefts intervals =
       | None -> Hashtbl.add tbl iv.Assigned.robot (ref [ iv.Assigned.left ]))
     intervals;
   Hashtbl.fold (fun robot lefts acc -> (robot, List.rev !lefts) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
 
 let consecutive_ratios intervals =
   per_robot_lefts intervals
@@ -63,7 +63,7 @@ let verify_reduction ~turns ~jump ~mu ~demand =
     invalid_arg "Induction.verify_reduction: jump robot out of range";
   let others =
     Array.to_list turns
-    |> List.filteri (fun r _ -> r <> jump.robot)
+    |> List.filteri (fun r _ -> not (Int.equal r jump.robot))
     |> Array.of_list
   in
   let lo = Float.max 1. (mu *. jump.from_left) and hi = jump.to_left in

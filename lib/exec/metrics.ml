@@ -76,7 +76,7 @@ let write t ~path =
         List.filter
           (fun item ->
             match Option.bind (Json.member "jobs" item) Json.to_int with
-            | Some j -> j <> t.jobs
+            | Some j -> not (Int.equal j t.jobs)
             | None -> false)
           items
   in

@@ -2,7 +2,11 @@
    flag and every promise's state.  [wake] is broadcast on each of the
    three events an idle domain can be waiting for — new work, a promise
    resolving, shutdown — which keeps the protocol obviously deadlock-free
-   at the cost of some spurious wake-ups (fine at table-row granularity). *)
+   at the cost of some spurious wake-ups (fine at table-row granularity).
+
+   Every critical section goes through [Mutex.protect] so an exception
+   raised inside (e.g. [async] on a closed pool) cannot leak the lock;
+   jobs themselves always run outside the protected region. *)
 
 type 'a state =
   | Pending
@@ -26,20 +30,20 @@ let jobs t = t.jobs
 let worker t =
   let running = ref true in
   while !running do
-    Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.closing do
-      Condition.wait t.wake t.mutex
-    done;
-    if Queue.is_empty t.queue then begin
-      (* closing and drained *)
-      running := false;
-      Mutex.unlock t.mutex
-    end
-    else begin
-      let job = Queue.pop t.queue in
-      Mutex.unlock t.mutex;
-      job ()
-    end
+    let job =
+      Mutex.protect t.mutex (fun () ->
+          while Queue.is_empty t.queue && not t.closing do
+            Condition.wait t.wake t.mutex
+          done;
+          if Queue.is_empty t.queue then begin
+            (* closing and drained *)
+            running := false;
+            None
+          end
+          else Some (Queue.pop t.queue))
+    in
+    (* run outside the critical section *)
+    Option.iter (fun job -> job ()) job
   done
 
 let create ?jobs () =
@@ -66,51 +70,49 @@ let async t f =
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock t.mutex;
-    p.result <- r;
-    Condition.broadcast t.wake;
-    Mutex.unlock t.mutex
+    Mutex.protect t.mutex (fun () ->
+        p.result <- r;
+        Condition.broadcast t.wake)
   in
-  Mutex.lock t.mutex;
-  if t.closing then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Pool.async: pool is shut down"
-  end;
-  Queue.push job t.queue;
-  Condition.broadcast t.wake;
-  Mutex.unlock t.mutex;
+  Mutex.protect t.mutex (fun () ->
+      if t.closing then invalid_arg "Pool.async: pool is shut down";
+      Queue.push job t.queue;
+      Condition.broadcast t.wake);
   p
 
 let rec await p =
   let t = p.pool in
-  Mutex.lock t.mutex;
-  match p.result with
-  | Done v ->
-      Mutex.unlock t.mutex;
-      v
-  | Failed (e, bt) ->
-      Mutex.unlock t.mutex;
-      Printexc.raise_with_backtrace e bt
-  | Pending ->
-      if not (Queue.is_empty t.queue) then begin
-        (* help: run some queued task (possibly, but not necessarily, the
-           one we are waiting for) *)
-        let job = Queue.pop t.queue in
-        Mutex.unlock t.mutex;
-        job ()
-      end
-      else begin
-        Condition.wait t.wake t.mutex;
-        Mutex.unlock t.mutex
-      end;
+  let action =
+    Mutex.protect t.mutex (fun () ->
+        match p.result with
+        | Done v -> `Return v
+        | Failed (e, bt) -> `Raise (e, bt)
+        | Pending ->
+            if not (Queue.is_empty t.queue) then
+              (* help: run some queued task (possibly, but not necessarily,
+                 the one we are waiting for) *)
+              `Run (Queue.pop t.queue)
+            else begin
+              Condition.wait t.wake t.mutex;
+              `Retry
+            end)
+  in
+  match action with
+  | `Return v -> v
+  | `Raise (e, bt) -> Printexc.raise_with_backtrace e bt
+  | `Run job ->
+      job ();
       await p
+  | `Retry -> await p
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  let already = t.closing in
-  t.closing <- true;
-  Condition.broadcast t.wake;
-  Mutex.unlock t.mutex;
+  let already =
+    Mutex.protect t.mutex (fun () ->
+        let already = t.closing in
+        t.closing <- true;
+        Condition.broadcast t.wake;
+        already)
+  in
   if not already then begin
     List.iter Domain.join t.workers;
     t.workers <- []

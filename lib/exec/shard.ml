@@ -21,7 +21,7 @@ let shards ~shards:count xs =
     let base = n / used and extra = n mod used in
     (* chunk i gets base + 1 items if i < extra, else base *)
     let rec cut i remaining =
-      if i = used then []
+      if Int.equal i used then []
       else
         let len = base + if i < extra then 1 else 0 in
         let rec take n acc rest =

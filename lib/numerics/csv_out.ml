@@ -16,7 +16,9 @@ let escape_field s =
 
 let float_cell x =
   let s = Printf.sprintf "%g" x in
-  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  match float_of_string_opt s with
+  | Some y when Float.equal y x -> s
+  | Some _ | None -> Printf.sprintf "%.17g" x
 
 let write ~path ~header ~rows =
   let arity = List.length header in

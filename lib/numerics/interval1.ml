@@ -33,7 +33,7 @@ let subset a b =
 
 let truncate_left t x =
   if x >= t.hi then None
-  else if x < t.lo || (x = t.lo && t.lo_kind = Open) then Some t
+  else if x < t.lo || (Float.equal x t.lo && t.lo_kind = Open) then Some t
   else Some { lo = x; lo_kind = Open; hi = t.hi }
 
 let compare_by_left a b =

@@ -36,7 +36,9 @@ let number_to_string x =
     (* shortest representation that round-trips *)
     let s = Printf.sprintf "%.17g" x in
     let shorter = Printf.sprintf "%g" x in
-    if float_of_string shorter = x then shorter else s
+    match float_of_string_opt shorter with
+    | Some y when Float.equal y x -> shorter
+    | Some _ | None -> s
 
 let to_string ?(pretty = false) t =
   let buf = Buffer.create 256 in
@@ -98,7 +100,7 @@ let of_string s =
   let advance () = incr pos in
   let expect c =
     match peek () with
-    | Some c' when c' = c -> advance ()
+    | Some c' when Char.equal c' c -> advance ()
     | Some c' -> fail (Printf.sprintf "expected '%c', got '%c'" c c')
     | None -> fail (Printf.sprintf "expected '%c', got end of input" c)
   in

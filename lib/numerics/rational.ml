@@ -16,7 +16,7 @@ let mul_exn a b =
   if a = 0 || b = 0 then 0
   else
     let c = a * b in
-    if c / b <> a then raise Overflow else c
+    if not (Int.equal (c / b) a) then raise Overflow else c
 
 let make num den =
   if den = 0 then raise Division_by_zero_rational
@@ -61,7 +61,7 @@ let compare a b =
   let lhs = mul_exn a.num b.den and rhs = mul_exn b.num a.den in
   Stdlib.compare lhs rhs
 
-let equal a b = a.num = b.num && a.den = b.den
+let equal a b = Int.equal a.num b.num && Int.equal a.den b.den
 let to_float a = float_of_int a.num /. float_of_int a.den
 
 let of_float_approx ?(max_den = 10_000) x =

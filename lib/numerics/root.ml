@@ -10,8 +10,8 @@ let check_bracket ~who ~flo ~fhi lo hi =
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in
   check_bracket ~who:"Root.bisect" ~flo ~fhi lo hi;
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if Float.equal flo 0. then lo
+  else if Float.equal fhi 0. then hi
   else
     let rec loop lo hi flo iter =
       let mid = 0.5 *. (lo +. hi) in
@@ -20,7 +20,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
       if width <= tol *. scale || iter >= max_iter then mid
       else
         let fmid = f mid in
-        if fmid = 0. then mid
+        if Float.equal fmid 0. then mid
         else if flo *. fmid < 0. then loop lo mid flo (iter + 1)
         else loop mid hi fmid (iter + 1)
     in
@@ -31,8 +31,8 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
 let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let fa = f lo and fb = f hi in
   check_bracket ~who:"Root.brent" ~flo:fa ~fhi:fb lo hi;
-  if fa = 0. then lo
-  else if fb = 0. then hi
+  if Float.equal fa 0. then lo
+  else if Float.equal fb 0. then hi
   else begin
     let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
     if Float.abs !fa < Float.abs !fb then begin
@@ -50,10 +50,11 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
     while !result = None && !iter < max_iter do
       incr iter;
       let scale = Float.max 1. (Float.abs !b) in
-      if !fb = 0. || Float.abs (!b -. !a) <= tol *. scale then result := Some !b
+      if Float.equal !fb 0. || Float.abs (!b -. !a) <= tol *. scale then
+        result := Some !b
       else begin
         let s =
-          if !fa <> !fc && !fb <> !fc then
+          if (not (Float.equal !fa !fc)) && not (Float.equal !fb !fc) then
             (* inverse quadratic interpolation *)
             (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
             +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))

@@ -14,8 +14,8 @@ let add_row t row =
   t.rows <- row :: t.rows
 
 let cell_f ?(decimals = 6) x =
-  if x = infinity then "inf"
-  else if x = neg_infinity then "-inf"
+  if Float.equal x infinity then "inf"
+  else if Float.equal x neg_infinity then "-inf"
   else if Float.is_nan x then "nan"
   else Printf.sprintf "%.*f" decimals x
 

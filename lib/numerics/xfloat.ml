@@ -1,7 +1,7 @@
 let default_eps = 1e-9
 
 let approx_eq ?(eps = default_eps) a b =
-  if a = b then true
+  if Float.equal a b then true
   else
     let scale = Float.max (Float.abs a) (Float.abs b) in
     if scale < eps then Float.abs (a -. b) <= eps
@@ -18,7 +18,7 @@ let is_finite x = Float.is_finite x
 
 let log_pow b e =
   assert (b >= 0.);
-  if e = 0. then 0. (* continuous extension: b^0 = 1, including 0^0 *)
+  if Float.equal e 0. then 0. (* continuous extension: b^0 = 1, including 0^0 *)
   else e *. log b
 
 let pow b e = exp (log_pow b e)
@@ -26,5 +26,6 @@ let sum xs = List.fold_left ( +. ) 0. xs
 
 let pp ppf x =
   let s = Printf.sprintf "%g" x in
-  if float_of_string s = x then Format.pp_print_string ppf s
-  else Format.fprintf ppf "%.17g" x
+  match float_of_string_opt s with
+  | Some y when Float.equal y x -> Format.pp_print_string ppf s
+  | Some _ | None -> Format.fprintf ppf "%.17g" x

@@ -58,6 +58,7 @@ let worst_case trajectories ~f ?(eps = default_eps)
   | Some witness ->
       let ratio = Stats.sup_value sup in
       let detection_time =
-        if ratio = infinity then infinity else ratio *. witness.World.dist
+        if Float.equal ratio infinity then infinity
+        else ratio *. witness.World.dist
       in
       { ratio; witness; detection_time; candidates_scanned = List.length candidates }

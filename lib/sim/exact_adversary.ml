@@ -11,7 +11,7 @@ let first_visit_pieces tr ~ray ~x_max ~time_horizon =
     else
       let covered, acc =
         if
-          l.Trajectory.ray = ray
+          Int.equal l.Trajectory.ray ray
           && l.Trajectory.d_to > l.Trajectory.d_from (* outbound *)
           && l.Trajectory.d_to > covered
         then begin
@@ -64,7 +64,7 @@ let order_statistic fns ~rank ~x_max =
           (fun p1 ->
             List.iter
               (fun p2 ->
-                if p1.b <> p2.b then begin
+                if not (Float.equal p1.b p2.b) then begin
                   let x = (p2.a -. p1.a) /. (p1.b -. p2.b) in
                   if
                     x > Float.max p1.x_lo p2.x_lo
@@ -145,7 +145,7 @@ let worst_case trajectories ~f ?(ratio_cap = 1024.) ~n () =
                  edge) or coincides with the previous piece's right end
                  value; otherwise a one-sided limit *)
               let v_lo = eval p lo /. lo in
-              consider ~ray ~dist:lo ~value:v_lo ~attained:(lo = 1.)
+              consider ~ray ~dist:lo ~value:v_lo ~attained:(Float.equal lo 1.)
             end
           end;
           scan (Float.max last p.x_hi) rest

@@ -65,7 +65,8 @@ let beck_quotient trajectories ~f d ~horizon =
 let best_sided_sweep d =
   let farthest ray =
     List.fold_left
-      (fun acc (p, _) -> if p.World.ray = ray then Float.max acc p.World.dist else acc)
+      (fun acc (p, _) ->
+        if Int.equal p.World.ray ray then Float.max acc p.World.dist else acc)
       0. d.support
   in
   let expected_first ray =
@@ -75,7 +76,7 @@ let best_sided_sweep d =
     List.fold_left
       (fun acc (p, w) ->
         let t =
-          if p.World.ray = ray then p.World.dist
+          if Int.equal p.World.ray ray then p.World.dist
           else (2. *. far) +. p.World.dist
         in
         acc +. (w *. t))

@@ -48,7 +48,7 @@ let compile itinerary =
         let i, wp = advance state.next_wp 0 in
         let same_ray =
           World.is_origin state.pos || World.is_origin wp
-          || wp.World.ray = state.pos.World.ray
+          || Int.equal wp.World.ray state.pos.World.ray
         in
         if same_ray then
           let ray =
@@ -120,7 +120,8 @@ let position ?(max_legs = default_max_legs) t time =
 
 (* Visit times of [target] within one leg. *)
 let leg_visit l (target : World.point) =
-  if l.ray <> target.World.ray && not (World.is_origin target) then None
+  if (not (Int.equal l.ray target.World.ray)) && not (World.is_origin target)
+  then None
   else
     let d = target.World.dist in
     let lo = Float.min l.d_from l.d_to and hi = Float.max l.d_from l.d_to in

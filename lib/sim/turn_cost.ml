@@ -4,7 +4,7 @@ let leg_duration (l : Trajectory.leg) =
   Float.abs (l.Trajectory.d_to -. l.Trajectory.d_from)
 
 let leg_direction (l : Trajectory.leg) =
-  compare l.Trajectory.d_to l.Trajectory.d_from
+  Float.compare l.Trajectory.d_to l.Trajectory.d_from
 
 (* A boundary between consecutive legs is a charged reversal when the
    direction flips on the same ray; a ray change through the origin is
@@ -17,8 +17,8 @@ let reversals_before ?(charge_origin = false) tr ~time =
     else
       let next = Trajectory.leg tr (i + 1) in
       let charged =
-        if next.Trajectory.ray = l.Trajectory.ray then
-          leg_direction next <> leg_direction l
+        if Int.equal next.Trajectory.ray l.Trajectory.ray then
+          not (Int.equal (leg_direction next) (leg_direction l))
         else charge_origin
       in
       loop (i + 1) (if charged then count + 1 else count)

@@ -35,13 +35,14 @@ let move t i = Lazy_seq.get t.moves i
 let passage ~from_ ~to_ ~target =
   let same_ray =
     World.is_origin from_ || World.is_origin to_
-    || from_.World.ray = to_.World.ray
+    || Int.equal from_.World.ray to_.World.ray
   in
   if same_ray then begin
     let ray =
       if World.is_origin from_ then to_.World.ray else from_.World.ray
     in
-    if target.World.ray <> ray && not (World.is_origin target) then None
+    if (not (Int.equal target.World.ray ray)) && not (World.is_origin target)
+    then None
     else
       let d = target.World.dist in
       let lo = Float.min from_.World.dist to_.World.dist in
@@ -52,10 +53,11 @@ let passage ~from_ ~to_ ~target =
   else begin
     (* inbound on from_.ray then outbound on to_.ray *)
     let d = target.World.dist in
-    if (target.World.ray = from_.World.ray || World.is_origin target)
+    if (Int.equal target.World.ray from_.World.ray || World.is_origin target)
        && d <= from_.World.dist
     then Some (from_.World.dist -. d)
-    else if target.World.ray = to_.World.ray && d <= to_.World.dist then
+    else if Int.equal target.World.ray to_.World.ray && d <= to_.World.dist
+    then
       Some (from_.World.dist +. d)
     else None
   end

@@ -17,11 +17,13 @@ let point t ~ray ~dist =
   { ray; dist }
 
 let origin = { ray = 0; dist = 0. }
-let is_origin p = p.dist = 0.
-let equal_point a b = (is_origin a && is_origin b) || (a.ray = b.ray && a.dist = b.dist)
+let is_origin p = Float.equal p.dist 0.
+let equal_point a b =
+  (is_origin a && is_origin b)
+  || (Int.equal a.ray b.ray && Float.equal a.dist b.dist)
 
 let travel_distance a b =
-  if a.ray = b.ray then Float.abs (a.dist -. b.dist)
+  if Int.equal a.ray b.ray then Float.abs (a.dist -. b.dist)
   else if is_origin a then b.dist
   else if is_origin b then a.dist
   else a.dist +. b.dist

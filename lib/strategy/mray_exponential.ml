@@ -54,7 +54,9 @@ let assigned_intervals_on_ray t ~robot ~ray ~within:(lo, hi) =
   (* passes on this ray: l = ray + 1 (mod m), starting at the first >= l_min *)
   let first_l =
     let target = ray + 1 in
-    let rec find l = if ray_of_pass t ~l = ray then l else find (l + 1) in
+    let rec find l =
+      if Int.equal (ray_of_pass t ~l) ray then l else find (l + 1)
+    in
     ignore target;
     find t.l_min
   in

@@ -19,14 +19,15 @@ let turning ~beta ~u =
    reached; the turning points need not bracket x yet, so walk leg by
    leg. *)
 let detection_time ~beta ~u ~positive_first ~x =
-  if x = 0. then invalid_arg "Randomized.detection_time: need x <> 0";
+  if Float.equal x 0. then
+    invalid_arg "Randomized.detection_time: need x <> 0";
   let turns = turning ~beta ~u in
   let rec walk i pos time =
     if i > 10_000 then
       invalid_arg "Randomized.detection_time: target not reached in 10^4 legs"
     else
       let sign =
-        if (i mod 2 = 1) = positive_first then 1. else -1.
+        if Bool.equal (i mod 2 = 1) positive_first then 1. else -1.
       in
       let dest = sign *. Turning.get turns i in
       let lo = Float.min pos dest and hi = Float.max pos dest in

@@ -64,7 +64,7 @@ let test_known_line_values () =
     (F.a_line ~k:3 ~f:1);
   (* ratio-one regime *)
   checkf "A(4,1) = 1" 1. (F.a_line ~k:4 ~f:1);
-  check_bool "A(k,k) = inf" true (F.a_line ~k:2 ~f:2 = infinity)
+  check_bool "A(k,k) = inf" true (Float.equal (F.a_line ~k:2 ~f:2) infinity)
 
 let test_mray_single_robot () =
   (* 1 + 2 m^m/(m-1)^(m-1) *)
@@ -203,10 +203,12 @@ let test_byzantine_b31 () =
 
 let test_byzantine_improvement () =
   match B.isaac16_priors with
-  | { B.k = 3; f = 1; isaac16_bound } :: _ ->
-      checkf "prior is 3.93" 3.93 isaac16_bound;
+  | { B.k = 3; f = 1; isaac16_bound = Some prior } :: _ ->
+      checkf "prior is 3.93" 3.93 prior;
       check_bool "improves by > 1.3" true
-        (B.improvement { B.k = 3; f = 1; isaac16_bound } > 1.3)
+        (match B.improvement { B.k = 3; f = 1; isaac16_bound = Some prior } with
+        | Some d -> d > 1.3
+        | None -> false)
   | _ -> Alcotest.fail "expected (3,1) prior first"
 
 let test_byzantine_mray_transfer () =

@@ -225,7 +225,8 @@ let test_report_searching () =
       Alcotest.failf "expected refutation, got %s"
         (match v with None -> "none" | Some _ -> "non-refuting verdict"));
   check_bool "byzantine transfer present" true
-    (r.FS.Report.byzantine_transfer = Some r.FS.Report.bound)
+    (Option.equal Float.equal r.FS.Report.byzantine_transfer
+       (Some r.FS.Report.bound))
 
 let test_report_ratio_one () =
   let p = FS.Problem.line ~k:4 ~f:1 ~horizon:100. () in

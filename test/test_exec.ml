@@ -171,7 +171,7 @@ let test_shard_prngs_independent_of_jobs () =
     (Array.to_list leaves = List.filteri (fun i _ -> i < 6)
                                (Array.to_list wider));
   let distinct =
-    Array.to_list leaves |> List.sort_uniq compare |> List.length
+    Array.to_list leaves |> List.sort_uniq Float.compare |> List.length
   in
   check_int "leaves distinct" 6 distinct
 
@@ -289,8 +289,10 @@ let test_metrics_write_merges () =
         List.find_map
           (function
             | Search_numerics.Json.Assoc fields
-              when List.assoc_opt "jobs" fields
-                   = Some (Search_numerics.Json.Number (float_of_int jobs))
+              when (match List.assoc_opt "jobs" fields with
+                    | Some (Search_numerics.Json.Number j) ->
+                        Float.equal j (float_of_int jobs)
+                    | _ -> false)
               -> (
                 match List.assoc_opt "seconds" fields with
                 | Some (Search_numerics.Json.Number s) -> Some s
@@ -334,7 +336,7 @@ let test_metrics_concurrent_writes () =
             Option.bind (Search_numerics.Json.member "jobs" e)
               Search_numerics.Json.to_int)
           entries
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       check_bool "both job tags present" true (jobs_seen = [ 1; 4 ])
   | Ok _ -> Alcotest.fail "timings file is not a JSON list"

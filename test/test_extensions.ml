@@ -403,7 +403,7 @@ let test_st_undetectable_is_infinite () =
   let tr = [| cow () |] in
   let d = St.point_mass (W.point W.line ~ray:0 ~dist:5.) in
   check_bool "tiny horizon -> infinity" true
-    (St.expected_detection_time tr ~f:0 d ~horizon:2. = infinity)
+    (Float.equal (St.expected_detection_time tr ~f:0 d ~horizon:2.) infinity)
 
 (* ------------------------------------------------------------------ *)
 (* Induction (Section 3.1, Case 2) *)
@@ -440,7 +440,7 @@ let test_ind_detects_jumps () =
       checkf "from" 2. j.Ind.from_left;
       checkf "to" 200. j.Ind.to_left
   | l -> Alcotest.failf "expected one jump, got %d" (List.length l));
-  check_bool "observed c" true (Ind.observed_c ivs = 100.)
+  check_bool "observed c" true (Float.equal (Ind.observed_c ivs) 100.)
 
 let test_ind_case2_reduction_shape () =
   let ivs =

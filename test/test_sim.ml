@@ -159,7 +159,7 @@ let test_trajectory_visit_at_turn_counted_once () =
   let visits = Tr.visits tr ~target ~horizon:6. in
   (* turn at +1 at t=1 must appear once, not twice *)
   check_int "tangential turn once" 1
-    (List.length (List.filter (fun t -> t = 1.) visits))
+    (List.length (List.filter (fun t -> Float.equal t 1.) visits))
 
 let test_trajectory_origin_visits () =
   let tr = Tr.compile (doubling_cow ()) in
@@ -273,7 +273,9 @@ let test_engine_ratio_infinity () =
   let trs = two_staggered_cows () in
   let target = W.point W.line ~ray:0 ~dist:2. in
   check_bool "undetectable -> infinite ratio" true
-    (Engine.detection_ratio trs ~f:2 ~target ~time_horizon:1000. = infinity)
+    (Float.equal
+       (Engine.detection_ratio trs ~f:2 ~target ~time_horizon:1000.)
+       infinity)
 
 (* all size-[f] subsets of robots [0 .. k-1], as fault assignments *)
 let all_f_assignments ~k ~f =
@@ -571,7 +573,7 @@ let test_exact_agrees_with_scan () =
 let test_exact_undetectable_infinite () =
   let zig = [| plain_doubling_zigzag (); plain_doubling_zigzag () |] in
   check_bool "f = 2 with 2 robots" true
-    ((EA.worst_case zig ~f:2 ~n:50. ()).EA.sup = infinity)
+    (Float.equal (EA.worst_case zig ~f:2 ~n:50. ()).EA.sup infinity)
 
 let test_exact_order_statistic () =
   (* two explicit functions: f0 = x on (0, 10], f1 = 5 + x on (0, 10];
