@@ -23,6 +23,58 @@ module Par = FS.Par
 let section id title =
   Printf.printf "\n=== %s: %s ===\n\n" id title
 
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: each grid cell of the row-producing
+   experiments runs under the supervised runtime.  A failing cell
+   renders as a marked "!ERR <tag>" row instead of aborting the whole
+   suite, the error goes to stderr, and the process exits 3 at the end
+   if any cell failed (see bin/search_cli.ml for the exit-code
+   contract).  [--chaos-seed]/[--retries] drive the fault-injection
+   drill: with retries > Chaos.max_faults the output must be
+   byte-identical to a fault-free run. *)
+
+let failed_cells = ref 0
+let chaos_seed = ref None
+let retries = ref 0
+
+let bench_spec () =
+  let chaos =
+    match !chaos_seed with
+    | None -> FS.Chaos.disabled
+    | Some seed -> FS.Chaos.make ~seed ()
+  in
+  let retry =
+    if !retries <= 0 then FS.Retry.none
+    else FS.Retry.immediate ~attempts:(!retries + 1)
+  in
+  { FS.Supervise.default with chaos; retry }
+
+let err_row ~id ~width err =
+  incr failed_cells;
+  Printf.eprintf "bench: %s cell failed: %s\n%!" id
+    (FS.Search_error.to_string err);
+  ("!ERR " ^ FS.Search_error.tag err) :: List.init (width - 1) (fun _ -> "-")
+
+(* supervised counterpart of [Par.parallel_map] for row-valued cells *)
+let guarded pool ~id ~width ~f items =
+  FS.Supervise.map pool ~spec:(bench_spec ())
+    ~task:(fun i _ -> Printf.sprintf "%s#%d" id i)
+    ~f:(fun _meter x -> f x)
+    items
+  |> List.map (function
+       | Ok row -> row
+       | Error err -> err_row ~id ~width err)
+
+(* variant for cells that may legitimately produce no row (F2) *)
+let guarded_opt pool ~id ~width ~f items =
+  FS.Supervise.map pool ~spec:(bench_spec ())
+    ~task:(fun i _ -> Printf.sprintf "%s#%d" id i)
+    ~f:(fun _meter x -> f x)
+    items
+  |> List.map (function
+       | Ok row -> row
+       | Error err -> Some (err_row ~id ~width err))
+
 (* closed-form bounds show up in several tables; memoise them in a
    domain-safe cache keyed by the instance *)
 let bound_cache : (int * int * int, float) FS.Memo.t = FS.Memo.create ()
@@ -57,7 +109,7 @@ let t1_line_ratio pool =
       ]
   in
   let n = 2000. in
-  Par.parallel_map pool
+  guarded pool ~id:"T1" ~width:9
     ~f:(fun (k, f) ->
       let p = FS.Params.line ~k ~f in
       let bound = a_line ~k ~f in
@@ -166,7 +218,7 @@ let t3_mray_ratio pool =
       ]
   in
   let n = 500. in
-  Par.parallel_map pool
+  guarded pool ~id:"T3" ~width:8
     ~f:(fun (m, k, f) ->
       let p = FS.Params.make ~m ~k ~f in
       let bound = a_mray ~m ~k ~f in
@@ -231,7 +283,7 @@ let t4_parallel_rays pool =
         ("cyclic simulated", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"T4" ~width:4
     ~f:(fun (m, k) ->
       let trs =
         Array.map FS.Trajectory.compile (FS.Cyclic.itineraries ~m ~k ())
@@ -264,7 +316,9 @@ let f2_alpha_sweep pool =
             ("alpha", T.Right); ("predicted", T.Right); ("simulated", T.Right);
           ]
       in
-      Par.parallel_map pool
+      guarded_opt pool
+        ~id:(Printf.sprintf "F2(%d,%d,%d)" m k f)
+        ~width:3
         ~f:(fun i ->
           let alpha = a_star *. (0.75 +. (0.5 *. float_of_int i /. 8.)) in
           if alpha > 1.01 then
@@ -489,7 +543,7 @@ let t7_classics pool =
         ("simulated", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"T7" ~width:3
     ~f:(fun m ->
       let tr = [| FS.Trajectory.compile (FS.Cyclic.single_robot ~m ()) |] in
       let out = FS.Adversary.worst_case tr ~f:0 ~n:400. () in
@@ -510,7 +564,7 @@ let t7_classics pool =
         ("optimal exponential", T.Right); ("theory", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"T7b" ~width:4
     ~f:(fun (k, f) ->
       let naive =
         Array.map FS.Trajectory.compile (FS.Baseline.replicated_doubling ~k)
@@ -547,7 +601,7 @@ let f4_horizon pool =
   (* the (instance, horizon) grid flattened row-major: the long-horizon
      points dominate the suite's sequential wall-clock *)
   FS.Shard.grid2 [ (2, 3, 1); (3, 2, 0) ] [ 1e2; 1e3; 1e4; 1e5 ]
-  |> Par.parallel_map pool ~f:(fun ((m, k, f), n) ->
+  |> guarded pool ~id:"F4" ~width:4 ~f:(fun ((m, k, f), n) ->
          let bound = a_mray ~m ~k ~f in
          let r = simulate_ratio ~m ~k ~f ~n () in
          [
@@ -573,7 +627,7 @@ let f5_threshold pool =
         ("coverage threshold", T.Right); ("difference", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"F5" ~width:5
     ~f:(fun (k, f) ->
       let p = FS.Params.line ~k ~f in
       let lam0 = FS.Formulas.of_params p in
@@ -611,7 +665,7 @@ let f6_eps_n_tradeoff pool =
         ("discriminant", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"F6" ~width:6
     ~f:(fun lambda ->
       let r = FS.Frontier.line_single ~lambda in
       let cap =
@@ -642,7 +696,7 @@ let f6_eps_n_tradeoff pool =
         ("reach N*", T.Right); ("ln N_max (theory)", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"F6b" ~width:4
     ~f:(fun lambda ->
       let r = FS.Frontier.multi ~lambda ~k:3 ~demand:1 () in
       let cap =
@@ -686,7 +740,7 @@ let x1_distance_measure pool =
         ("alpha", T.Right); ("parallel time-optimal charged k*T/d", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"X1" ~width:4
     ~f:(fun k ->
       let seq, alpha = best_sequential k in
       let parallel =
@@ -782,7 +836,7 @@ let x3_turn_cost pool =
           (fun a -> (Printf.sprintf "base %.1f" a, T.Right))
           [ 2.0; 3.0; 4.0 ])
   in
-  Par.parallel_map pool
+  guarded pool ~id:"X3" ~width:4
     ~f:(fun c ->
       T.cell_f ~decimals:1 c
       :: List.map
@@ -811,7 +865,7 @@ let x4_stochastic pool =
         ("doubling E[T]/E|d|", T.Right); ("sided sweep (knows dist)", T.Right);
       ]
   in
-  Par.parallel_map pool
+  guarded pool ~id:"X4" ~width:4
     ~f:(fun (name, d) ->
       [
         name;
@@ -1035,6 +1089,15 @@ let () =
         Arg.Set_int jobs,
         "N  run the experiment grids on N domains (default: the \
          recommended domain count; tables are byte-identical for any N)" );
+      ( "--chaos-seed",
+        Arg.Int (fun s -> chaos_seed := Some s),
+        "SEED  inject deterministic faults into the grid cells (drill: \
+         with enough --retries the tables are byte-identical to a \
+         fault-free run)" );
+      ( "--retries",
+        Arg.Set_int retries,
+        "R  retry each failed grid cell up to R times (attempts = R+1, \
+         zero backoff)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     "main.exe [--jobs N]";
@@ -1072,4 +1135,10 @@ let () =
   FS.Metrics.record metrics ~experiment:"suite" ~seconds:(FS.Metrics.total metrics);
   FS.Metrics.write metrics ~path:timings_path;
   Printf.printf "\n(per-experiment wall-clock written to %s)\n" timings_path;
+  if !failed_cells > 0 then begin
+    Printf.eprintf
+      "bench: %d grid cell(s) failed (marked !ERR above); exiting 3\n%!"
+      !failed_cells;
+    exit 3
+  end;
   print_endline "\nall experiments completed."

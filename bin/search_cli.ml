@@ -5,10 +5,27 @@
      simulate  synthesize the optimal strategy and verify it empirically
      certify   run the lower-bound certificate against a claimed lambda
      sweep     competitive ratio of the exponential strategy vs its base
-     trace     narrate a concrete search run *)
+     trace     narrate a concrete search run
+
+   Exit-code contract (kept consistent across subcommands, and relied on
+   by CI and scripts):
+     0  success — the command ran and found nothing adverse
+     1  verified failure / finding — the tool worked and the answer is
+        "bad": a refuted certificate, a failed verification, invariant
+        violations from fuzz, lint findings, a corpus replay mismatch
+     2  usage error — bad flags, invalid (m,k,f) instances, instances
+        outside the regime a subcommand needs, unreadable inputs
+     3  internal error — the runtime itself failed: an uncaught
+        exception, a supervised task that exhausted its retries, a
+        budget blowout, an I/O failure in the journal/lock layer *)
 
 module FS = Faulty_search
 open Cmdliner
+
+let exit_ok = 0
+let exit_finding = 1
+let exit_usage = 2
+let exit_internal = 3
 
 (* ------------------------------------------------------------------ *)
 (* common arguments                                                    *)
@@ -38,7 +55,7 @@ let with_params m k f yield =
   | p -> yield p
   | exception FS.Params.Invalid msg ->
       Format.eprintf "invalid parameters: %s@." msg;
-      1
+      exit_usage
 
 (* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
@@ -74,16 +91,16 @@ let simulate_run m k f n alpha =
   match FS.Problem.make ~m ~k ~f ~horizon:n () with
   | exception Invalid_argument msg ->
       Format.eprintf "%s@." msg;
-      1
+      exit_usage
   | problem -> (
       match FS.Solve.solve ?alpha problem with
       | exception FS.Solve.Unsolvable msg ->
           Format.eprintf "unsolvable: %s@." msg;
-          1
+          exit_usage
       | solution ->
           let report = FS.Verify.verify solution in
           Format.printf "%a@." FS.Verify.pp report;
-          if FS.Verify.all_ok report then 0 else 1)
+          if FS.Verify.all_ok report then exit_ok else exit_finding)
 
 let simulate_cmd =
   let doc = "Synthesize the optimal strategy and verify it empirically." in
@@ -124,12 +141,12 @@ let json_out_arg =
 
 let certify_run m k f n lambda json_out jobs grid =
   with_params m k f @@ fun p ->
-  if not (check_jobs jobs) then 1
+  if not (check_jobs jobs) then exit_usage
   else
   match FS.Params.regime p with
   | FS.Params.Ratio_one | FS.Params.Unsolvable ->
       Format.eprintf "certify: instance not in the searching regime@.";
-      1
+      exit_usage
   | FS.Params.Searching ->
       let problem = FS.Problem.make ~m ~k ~f ~horizon:n () in
       let solution = FS.Solve.solve problem in
@@ -199,7 +216,12 @@ let certify_run m k f n lambda json_out jobs grid =
            lambda@."
           lhb
           (lhb /. log 10.);
-      0
+      (* a refutation of the claimed lambda is a verified finding *)
+      (match verdict with
+      | FS.Certificate.Refuted_gap _ | FS.Certificate.Refuted_potential _ ->
+          exit_finding
+      | FS.Certificate.Not_refuted _ | FS.Certificate.Inconclusive _ ->
+          exit_ok)
 
 let certify_cmd =
   let doc = "Run the lower-bound certificate against a claimed ratio." in
@@ -228,12 +250,12 @@ let recheck_run m k f file =
   match FS.Certificate_io.parse_string contents with
   | Error msg ->
       Format.eprintf "cannot parse certificate: %s@." msg;
-      1
+      exit_usage
   | Ok parsed -> (
       match FS.Params.regime p with
       | FS.Params.Ratio_one | FS.Params.Unsolvable ->
           Format.eprintf "recheck: instance not in the searching regime@.";
-          1
+          exit_usage
       | FS.Params.Searching -> (
           let strat = FS.Mray_exponential.make p in
           let turns = FS.Orc_cover.of_mray_group strat in
@@ -241,10 +263,10 @@ let recheck_run m k f file =
           | Ok () ->
               Format.printf "certificate CONFIRMED against the (m=%d,k=%d,f=%d) \
                              optimal strategy@." m k f;
-              0
+              exit_ok
           | Error msg ->
               Format.printf "certificate MISMATCH: %s@." msg;
-              1))
+              exit_finding))
 
 let recheck_cmd =
   let doc =
@@ -262,14 +284,70 @@ let samples_arg =
   let doc = "Number of sample points." in
   Arg.(value & opt int 9 & info [ "samples" ] ~docv:"S" ~doc)
 
-let sweep_run m k f n samples jobs =
+(* --- supervised-runtime flags, shared by sweep and fuzz ------------- *)
+
+let chaos_seed_arg =
+  let doc =
+    "Enable deterministic fault injection with this seed.  The faults \
+     are a pure function of (seed, task key): the same seed injects the \
+     same faults at any $(b,--jobs) and on every rerun."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry budget per task (total attempts = $(docv) + 1).  With \
+     $(docv) at or above the chaos mode's worst case (2 faults per \
+     task), a chaos run's output is byte-identical to a fault-free one."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"R" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Checkpoint/resume journal directory.  Completed tasks are recorded \
+     as they land; a rerun with the same configuration resumes instead \
+     of restarting, and the journal is deleted when the run completes."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let chaos_of = function
+  | None -> FS.Chaos.disabled
+  | Some seed -> FS.Chaos.make ~seed ()
+
+let retry_of retries =
+  if retries <= 0 then FS.Retry.none
+  else FS.Retry.immediate ~attempts:(retries + 1)
+
+let sweep_out_arg =
+  let doc = "Write the results table to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+(* Checkpoint codec for one sweep row: [None] (sample below the alpha
+   floor) is JSON null, [Some cells] is a list of strings. *)
+let row_to_json = function
+  | None -> FS.Json.Null
+  | Some cells -> FS.Json.List (List.map (fun c -> FS.Json.String c) cells)
+
+let row_of_json = function
+  | FS.Json.Null -> Ok None
+  | FS.Json.List items -> (
+      let cells = List.filter_map FS.Json.to_string_value items in
+      if List.length cells = List.length items then Ok (Some cells)
+      else Error "sweep: malformed journalled row")
+  | _ -> Error "sweep: expected null or a cell list"
+
+let sweep_run m k f n samples jobs chaos_seed retries checkpoint out =
   with_params m k f @@ fun p ->
-  if not (check_jobs jobs) then 1
+  if not (check_jobs jobs) then exit_usage
+  else if samples < 2 then begin
+    Format.eprintf "sweep: need --samples >= 2@.";
+    exit_usage
+  end
   else
   match FS.Params.regime p with
   | FS.Params.Ratio_one | FS.Params.Unsolvable ->
       Format.eprintf "sweep: instance not in the searching regime@.";
-      1
+      exit_usage
   | FS.Params.Searching ->
       let q = FS.Params.q p in
       let a_star = FS.Formulas.alpha_star ~q ~k in
@@ -281,13 +359,44 @@ let sweep_run m k f n samples jobs =
           [ ("alpha", FS.Table.Right); ("predicted", FS.Table.Right);
             ("simulated", FS.Table.Right) ]
       in
+      let persist =
+        Option.map
+          (fun dir ->
+            let config =
+              FS.Json.Assoc
+                [
+                  ("run", FS.Json.String "sweep");
+                  ("m", FS.Json.Number (float_of_int m));
+                  ("k", FS.Json.Number (float_of_int k));
+                  ("f", FS.Json.Number (float_of_int f));
+                  ("n", FS.Json.Number n);
+                  ("samples", FS.Json.Number (float_of_int samples));
+                ]
+            in
+            {
+              FS.Supervise.journal = FS.Journal.open_ ~dir ~config;
+              encode = row_to_json;
+              decode = row_of_json;
+            })
+          checkpoint
+      in
+      let spec =
+        {
+          FS.Supervise.default with
+          chaos = chaos_of chaos_seed;
+          retry = retry_of retries;
+        }
+      in
       (* each sample point synthesizes and attacks its own strategy, so the
          rows shard across the pool; they are re-assembled in input order
-         and the table is printed sequentially — same bytes at any --jobs *)
+         and the table is printed sequentially — same bytes at any --jobs.
+         A failing cell degrades to a marked error row instead of aborting
+         the table, and the command exits 3. *)
       let rows =
         FS.Pool.with_pool ?jobs @@ fun pool ->
-        FS.Par.parallel_map pool (List.init samples Fun.id)
-          ~f:(fun i ->
+        FS.Supervise.map pool ~spec ?persist
+          ~task:(fun i _ -> Printf.sprintf "sweep/alpha-%d" i)
+          ~f:(fun _meter i ->
             let t = float_of_int i /. float_of_int (samples - 1) in
             let alpha = a_star *. (0.7 +. (0.8 *. t)) in
             if alpha > 1.001 then begin
@@ -306,17 +415,36 @@ let sweep_run m k f n samples jobs =
                 ]
             end
             else None)
+          (List.init samples Fun.id)
       in
-      List.iter (Option.iter (FS.Table.add_row tbl)) rows;
-      FS.Table.print tbl;
-      0
+      Option.iter (fun pr -> FS.Journal.finish pr.FS.Supervise.journal) persist;
+      let failed = ref 0 in
+      List.iter
+        (function
+          | Ok row -> Option.iter (FS.Table.add_row tbl) row
+          | Error err ->
+              incr failed;
+              Format.eprintf "sweep: %a@." FS.Search_error.pp err;
+              FS.Table.add_row tbl
+                [ "!ERR " ^ FS.Search_error.tag err; "-"; "-" ])
+        rows;
+      let text = FS.Table.render tbl in
+      (match out with
+      | None -> print_string text
+      | Some file ->
+          let oc = open_out_bin file in
+          output_string oc text;
+          close_out oc;
+          Format.printf "sweep table written to %s@." file);
+      if !failed = 0 then exit_ok else exit_internal
 
 let sweep_cmd =
   let doc = "Ratio of the exponential strategy as a function of its base." in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
-      const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg $ jobs_arg)
+      const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg $ jobs_arg
+      $ chaos_seed_arg $ retries_arg $ checkpoint_arg $ sweep_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -330,7 +458,7 @@ let trace_run m k f target =
   match FS.Params.regime p with
   | FS.Params.Unsolvable ->
       Format.eprintf "trace: unsolvable instance@.";
-      1
+      exit_usage
   | FS.Params.Ratio_one | FS.Params.Searching ->
       let problem = FS.Problem.make ~m ~k ~f ~horizon:(4. *. target) () in
       let solution = FS.Solve.solve problem in
@@ -361,7 +489,7 @@ let trace_cmd =
 let phase_run m =
   if m < 2 then begin
     Format.eprintf "phase: need m >= 2@.";
-    1
+    exit_usage
   end
   else begin
     let tbl =
@@ -405,7 +533,7 @@ let eta_arg =
 let fractional_run eta =
   if eta <= 1. then begin
     Format.eprintf "fractional: need eta > 1@.";
-    1
+    exit_usage
   end
   else begin
     Format.printf "C(%g) = %.6f@." eta (FS.Fractional.c_eta eta);
@@ -463,7 +591,7 @@ let max_f_arg =
 let plan_run m budget max_f =
   if m < 2 then begin
     Format.eprintf "plan: need m >= 2@.";
-    1
+    exit_usage
   end
   else begin
     Format.printf "fleets achieving ratio <= %g on %d rays:@." budget m;
@@ -507,12 +635,12 @@ let report_run m k f n out =
   match FS.Problem.make ~m ~k ~f ~horizon:n () with
   | exception Invalid_argument msg ->
       Format.eprintf "%s@." msg;
-      1
+      exit_usage
   | problem -> (
       match FS.Report.build problem with
       | exception FS.Solve.Unsolvable msg ->
           Format.eprintf "unsolvable: %s@." msg;
-          1
+          exit_usage
       | report ->
           let md = FS.Report.to_markdown report in
           if out = "-" then print_string md
@@ -522,7 +650,7 @@ let report_run m k f n out =
             close_out oc;
             Format.printf "report written to %s@." out
           end;
-          0)
+          exit_ok)
 
 let report_cmd =
   let doc = "Full markdown report for one instance (bounds, simulation, \
@@ -563,7 +691,7 @@ let fuzz_replay path =
   in
   if entries = [] then begin
     Format.eprintf "no corpus entries under %s@." path;
-    1
+    exit_usage
   end
   else begin
     let failed = ref 0 in
@@ -578,18 +706,22 @@ let fuzz_replay path =
     Format.printf "replayed %d entr%s, %d failing@." (List.length entries)
       (if List.length entries = 1 then "y" else "ies")
       !failed;
-    if !failed = 0 then 0 else 1
+    if !failed = 0 then exit_ok else exit_finding
   end
 
-let fuzz_run seed cases jobs replay corpus_dir =
-  if not (check_jobs jobs) then 1
+let fuzz_run seed cases jobs replay corpus_dir chaos_seed retries checkpoint =
+  if not (check_jobs jobs) then exit_usage
   else
     match replay with
     | Some path -> fuzz_replay path
     | None ->
-        let outcome = FS.Check.Fuzz.run ?jobs ~seed ~cases () in
+        let outcome =
+          FS.Check.Fuzz.run ?jobs ~chaos:(chaos_of chaos_seed)
+            ~retry:(retry_of retries) ?journal_dir:checkpoint ~seed ~cases ()
+        in
         (* the report carries no timing or job count: identical bytes at
-           any --jobs and across runs *)
+           any --jobs and across runs (and, with enough retries, under
+           chaos) *)
         print_string (FS.Check.Fuzz.report outcome);
         (match corpus_dir with
         | Some dir when outcome.FS.Check.Fuzz.failures <> [] ->
@@ -597,7 +729,7 @@ let fuzz_run seed cases jobs replay corpus_dir =
               (Format.printf "corpus entry written to %s@.")
               (FS.Check.Fuzz.save_failures ~dir outcome)
         | _ -> ());
-        if outcome.FS.Check.Fuzz.failures = [] then 0 else 1
+        if outcome.FS.Check.Fuzz.failures = [] then exit_ok else exit_finding
 
 let fuzz_cmd =
   let doc =
@@ -608,7 +740,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz_run $ seed_arg $ cases_arg $ jobs_arg $ replay_arg
-      $ corpus_dir_arg)
+      $ corpus_dir_arg $ chaos_seed_arg $ retries_arg $ checkpoint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -632,7 +764,7 @@ let rules_arg =
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
 
 let lint_run root format rules jobs =
-  if not (check_jobs jobs) then 1
+  if not (check_jobs jobs) then exit_usage
   else
     let module A = FS.Analysis in
     match rules with
@@ -649,18 +781,19 @@ let lint_run root format rules jobs =
         match A.Driver.load_allow ~root with
         | Error msg ->
             Format.eprintf "lint: %s@." msg;
-            1
+            exit_usage
         | Ok allow -> (
             match A.Driver.run ?jobs ?rules ~allow ~root () with
             | exception Invalid_argument msg ->
                 Format.eprintf "lint: %s@." msg;
-                1
+                exit_usage
             | outcome ->
                 print_string
                   (match format with
                   | `Text -> A.Driver.render_text outcome
                   | `Json -> A.Driver.render_json outcome);
-                if outcome.A.Driver.findings = [] then 0 else 1))
+                if outcome.A.Driver.findings = [] then exit_ok else
+                  exit_finding))
 
 let lint_cmd =
   let doc =
@@ -683,4 +816,20 @@ let main_cmd =
       lint_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Map cmdliner's evaluation onto the exit-code contract in the header:
+   parse/term errors are usage (2); an escaping exception — including a
+   [Search_error] no subcommand translated — is an internal error (3). *)
+let () =
+  exit
+    (match Cmd.eval_value ~catch:false main_cmd with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> exit_ok
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> exit_internal
+    | exception FS.Search_error.Error err ->
+        Format.eprintf "faulty-search: %a@." FS.Search_error.pp err;
+        exit_internal
+    | exception e ->
+        Format.eprintf "faulty-search: uncaught exception: %s@."
+          (Printexc.to_string e);
+        exit_internal)

@@ -1,14 +1,14 @@
 module X = Search_numerics.Xfloat
 
 let mu ~q ~k =
-  if k <= 0 || k > q then invalid_arg "Formulas.mu: need 0 < k <= q";
+  if k <= 0 || k > q then Search_numerics.Search_error.invalid ~where:"Formulas.mu" "need 0 < k <= q";
   let fq = float_of_int q and fk = float_of_int k in
   let fs = float_of_int (q - k) in
   (* ((q^q) / (s^s k^k))^(1/k), in log-domain; X.log_pow handles s = 0. *)
   exp ((X.log_pow fq fq -. X.log_pow fs fs -. X.log_pow fk fk) /. fk)
 
 let mu_rho rho =
-  if rho < 1. then invalid_arg "Formulas.mu_rho: need rho >= 1";
+  if rho < 1. then Search_numerics.Search_error.invalid ~where:"Formulas.mu_rho" "need rho >= 1";
   exp (X.log_pow rho rho -. X.log_pow (rho -. 1.) (rho -. 1.))
 
 let lambda0 ~q ~k = (2. *. mu ~q ~k) +. 1.
@@ -27,20 +27,20 @@ let of_params p =
   a_mray ~m ~k ~f
 
 let c_eta eta =
-  if eta < 1. then invalid_arg "Formulas.c_eta: need eta >= 1";
+  if eta < 1. then Search_numerics.Search_error.invalid ~where:"Formulas.c_eta" "need eta >= 1";
   (2. *. mu_rho eta) +. 1.
 
 let alpha_star ~q ~k =
-  if k <= 0 || k >= q then invalid_arg "Formulas.alpha_star: need 0 < k < q";
+  if k <= 0 || k >= q then Search_numerics.Search_error.invalid ~where:"Formulas.alpha_star" "need 0 < k < q";
   (float_of_int q /. float_of_int (q - k)) ** (1. /. float_of_int k)
 
 let exponential_ratio ~q ~k ~alpha =
-  if alpha <= 1. then invalid_arg "Formulas.exponential_ratio: need alpha > 1";
+  if alpha <= 1. then Search_numerics.Search_error.invalid ~where:"Formulas.exponential_ratio" "need alpha > 1";
   let aq = alpha ** float_of_int q and ak = alpha ** float_of_int k in
   1. +. (2. *. aq /. (ak -. 1.))
 
 let cow_path = a_mray ~m:2 ~k:1 ~f:0
 
 let single_robot_mray ~m =
-  if m < 2 then invalid_arg "Formulas.single_robot_mray: need m >= 2";
+  if m < 2 then Search_numerics.Search_error.invalid ~where:"Formulas.single_robot_mray" "need m >= 2";
   a_mray ~m ~k:1 ~f:0

@@ -4,13 +4,13 @@ let poly ~s ~k ~mu_star x =
   (x ** float_of_int s) *. ((mu_star -. x) ** float_of_int k)
 
 let argmax ~s ~k ~mu_star =
-  if s < 1 || k < 1 then invalid_arg "Lemma.argmax: need s, k >= 1";
-  if mu_star <= 0. then invalid_arg "Lemma.argmax: need mu_star > 0";
+  if s < 1 || k < 1 then Search_numerics.Search_error.invalid ~where:"Lemma.argmax" "need s, k >= 1";
+  if mu_star <= 0. then Search_numerics.Search_error.invalid ~where:"Lemma.argmax" "need mu_star > 0";
   float_of_int s *. mu_star /. float_of_int (k + s)
 
 let ratio ~s ~k ~mu_star ~x =
   if not (0. < x && x < mu_star) then
-    invalid_arg "Lemma.ratio: need 0 < x < mu_star";
+    Search_numerics.Search_error.invalid ~where:"Lemma.ratio" "need 0 < x < mu_star";
   let fs = float_of_int s and fk = float_of_int k in
   exp
     (X.log_pow mu_star fs -. X.log_pow x fs -. X.log_pow (mu_star -. x) fk)

@@ -8,9 +8,9 @@ let achievable ~m ~k ~f ~lambda =
       | Params.Searching -> Formulas.a_mray ~m ~k ~f <= lambda)
 
 let min_robots ~m ~f ~lambda =
-  if m < 2 then invalid_arg "Planning.min_robots: need m >= 2";
-  if f < 0 then invalid_arg "Planning.min_robots: need f >= 0";
-  if lambda <= 0. then invalid_arg "Planning.min_robots: need lambda > 0";
+  if m < 2 then Search_numerics.Search_error.invalid ~where:"Planning.min_robots" "need m >= 2";
+  if f < 0 then Search_numerics.Search_error.invalid ~where:"Planning.min_robots" "need f >= 0";
+  if lambda <= 0. then Search_numerics.Search_error.invalid ~where:"Planning.min_robots" "need lambda > 0";
   (* k = m(f+1) always achieves ratio 1; scan down from it.  A(m,k,f) is
      monotone decreasing in k, so the first k that works from below is
      the answer; linear scan is fine (k <= m(f+1)). *)
@@ -25,8 +25,8 @@ let min_robots ~m ~f ~lambda =
     down None top
 
 let max_faults ~m ~k ~lambda =
-  if m < 2 then invalid_arg "Planning.max_faults: need m >= 2";
-  if k < 1 then invalid_arg "Planning.max_faults: need k >= 1";
+  if m < 2 then Search_numerics.Search_error.invalid ~where:"Planning.max_faults" "need m >= 2";
+  if k < 1 then Search_numerics.Search_error.invalid ~where:"Planning.max_faults" "need k >= 1";
   (* A is monotone increasing in f; scan up while achievable *)
   let rec up best f =
     if f > k then best
@@ -36,7 +36,7 @@ let max_faults ~m ~k ~lambda =
   up None 0
 
 let rho_for_lambda ~lambda =
-  if lambda < 3. then invalid_arg "Planning.rho_for_lambda: need lambda >= 3";
+  if lambda < 3. then Search_numerics.Search_error.invalid ~where:"Planning.rho_for_lambda" "need lambda >= 3";
   if Float.equal lambda 3. then 1.
   else
     (* lambda(rho) is strictly increasing; bracket and bisect *)

@@ -16,6 +16,10 @@ let entry_json case ~violations =
              violations) );
     ]
 
+(* Writes are serialised by a PID-stamped lock file (stale ones from
+   killed runs are broken, not waited on) and land via temp + rename, so
+   a reader or a concurrent fuzz process never observes a torn entry.
+   [files] only lists [*.json], which hides the lock and temp files. *)
 let save ~dir case ~violations =
   let contents =
     Json.to_string ~pretty:true (entry_json case ~violations) ^ "\n"
@@ -25,11 +29,24 @@ let save ~dir case ~violations =
       (String.sub (Digest.to_hex (Digest.string contents)) 0 12)
   in
   let path = Filename.concat dir name in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents);
-  path
+  Search_resilience.Lockfile.with_lock
+    ~path:(Filename.concat dir ".corpus.lock")
+  @@ fun () ->
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ] "corpus"
+      ".tmp"
+  in
+  match
+    output_string oc contents;
+    close_out oc
+  with
+  | () ->
+      Sys.rename tmp path;
+      path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let read_file path =
   match open_in_bin path with

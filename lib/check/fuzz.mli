@@ -15,10 +15,27 @@ type failure = {
 
 type outcome = { seed : int; cases : int; failures : failure list }
 
-val run : ?jobs:int -> seed:int -> cases:int -> unit -> outcome
+val run :
+  ?jobs:int ->
+  ?chaos:Search_resilience.Chaos.t ->
+  ?retry:Search_resilience.Retry.policy ->
+  ?journal_dir:string ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  outcome
 (** Generate [cases] cases from [seed], run the invariant catalogue on
-    each (sharded over [jobs] domains, default
-    [Pool.default_jobs ()]), and shrink every failing case. *)
+    each (sharded over [jobs] domains, default [Pool.default_jobs ()]),
+    and shrink every failing case.
+
+    The campaign runs under the supervised runtime: [chaos] injects
+    deterministic faults per case (a retry policy with more attempts than
+    [Chaos.max_faults] reproduces the fault-free outcome exactly);
+    [journal_dir] checkpoints each completed case so a killed campaign
+    resumes instead of restarting (the journal is deleted when the run
+    completes).  A case the supervisor cannot complete surfaces as a
+    failure with the pseudo-invariant ["runtime.supervised"] and is not
+    shrunk. *)
 
 val report : outcome -> string
 (** Deterministic human-readable summary: header, one block per failure

@@ -18,6 +18,10 @@ module Orc = Search_covering.Orc
 module Certificate = Search_covering.Certificate
 module Pool = Search_exec.Pool
 module Shard = Search_exec.Shard
+module Supervise = Search_exec.Supervise
+module Chaos = Search_resilience.Chaos
+module Retry = Search_resilience.Retry
+module E = Search_numerics.Search_error
 
 type violation = { invariant : string; detail : string }
 
@@ -549,6 +553,88 @@ let inv_exec ctx =
   else failf "sharded map differs between pool sizes 1 and 3"
 
 (* ------------------------------------------------------------------ *)
+(* chaos.determinism                                                   *)
+
+(* The chaos plan must be a pure function of (seed, task key): same key,
+   same plan, at any time and in any domain; distinct attempts below the
+   fault count raise, the first attempt at the fault count succeeds. *)
+let inv_chaos_determinism ctx =
+  let seed = ctx.case.Case.turn_seed in
+  let chaos = Chaos.make ~seed () in
+  let tasks =
+    List.init 6 (fun i -> Printf.sprintf "chaos-probe/%d-%d" ctx.case.Case.id i)
+  in
+  List.concat_map
+    (fun task ->
+      let p1 = Chaos.plan chaos ~task in
+      let p2 = Chaos.plan chaos ~task in
+      if not (Chaos.plan_equal p1 p2) then
+        failf "plan for %s not deterministic" task
+      else if p1.Chaos.faults > Chaos.max_faults chaos then
+        failf "plan for %s exceeds max_faults" task
+      else
+        let outcome attempt =
+          match Chaos.run chaos ~task ~attempt (fun () -> `Ran) with
+          | `Ran -> `Ran
+          | exception E.Error (E.Injected_fault _) -> `Faulted
+          | exception e ->
+              `Other (Printexc.to_string e)
+        in
+        let bad_fault =
+          List.exists
+            (fun a ->
+              match outcome a with `Faulted -> false | _ -> true)
+            (List.init p1.Chaos.faults Fun.id)
+        in
+        if bad_fault then
+          failf "%s: attempts below the fault count must fault" task
+        else
+          match outcome p1.Chaos.faults with
+          | `Ran -> []
+          | `Faulted -> failf "%s: attempt %d still faulted" task p1.Chaos.faults
+          | `Other e -> failf "%s: unexpected %s" task e)
+    tasks
+
+(* ------------------------------------------------------------------ *)
+(* chaos.supervisor_recovers                                           *)
+
+(* Dogfood the supervised runtime: under fault injection, a retry policy
+   with more attempts than [Chaos.max_faults] must reproduce the
+   fault-free results exactly, at any pool size. *)
+let inv_chaos_supervisor ctx =
+  let seed = ctx.case.Case.turn_seed in
+  let chaos = Chaos.make ~seed () in
+  let items = List.init 6 Fun.id in
+  let pure i =
+    Int64.bits_of_float (float_of_int (i + ctx.case.Case.k) *. ctx.lambda)
+  in
+  let f _meter i = pure i in
+  let task i _ = Printf.sprintf "chaos-sup/%d-%d" ctx.case.Case.id i in
+  let supervised jobs =
+    Pool.with_pool ~jobs @@ fun pool ->
+    Supervise.map pool
+      ~spec:
+        {
+          Supervise.default with
+          chaos;
+          retry = Retry.immediate ~attempts:(Chaos.max_faults chaos + 1);
+        }
+      ~task ~f items
+  in
+  let plain = List.map (fun i -> Ok (pure i)) items in
+  let eq =
+    List.equal (fun a b ->
+        match (a, b) with
+        | Ok x, Ok y -> Int64.equal x y
+        | Error _, _ | _, Error _ -> false)
+  in
+  if not (eq (supervised 1) plain) then
+    failf "supervised map under chaos differs from plain map at jobs=1"
+  else if not (eq (supervised 3) plain) then
+    failf "supervised map under chaos differs from plain map at jobs=3"
+  else []
+
+(* ------------------------------------------------------------------ *)
 (* analysis.self_clean                                                 *)
 
 (* The lint verdict is a property of the source tree, not of the case,
@@ -606,6 +692,8 @@ let catalogue : (string * (ctx -> string list)) list =
     ("normalize.monotone_coverage", inv_normalize);
     ("stochastic.oracles", inv_stochastic);
     ("exec.jobs_invariance", inv_exec);
+    ("chaos.determinism", inv_chaos_determinism);
+    ("chaos.supervisor_recovers", inv_chaos_supervisor);
     ("analysis.self_clean", inv_analysis);
   ]
 

@@ -94,6 +94,17 @@ module Shard = Search_exec.Shard
 module Memo = Search_exec.Memo
 module Metrics = Search_exec.Metrics
 
+(** {1 Resilience (supervised execution runtime)} *)
+
+module Search_error = Search_numerics.Search_error
+module Budget = Search_resilience.Budget
+module Cancel = Search_resilience.Cancel
+module Retry = Search_resilience.Retry
+module Chaos = Search_resilience.Chaos
+module Journal = Search_resilience.Journal
+module Lockfile = Search_resilience.Lockfile
+module Supervise = Search_exec.Supervise
+
 (** {1 Numerics} *)
 
 module Interval1 = Search_numerics.Interval1

@@ -49,26 +49,20 @@ let read_file path =
 (* The merge is a read-modify-write cycle: two bench runs writing the
    same timings file concurrently (say --jobs 1 and --jobs 4 in parallel
    CI lanes) would clobber each other's entries.  Serialisation is
-   two-level: a module mutex for domains of this process (fcntl locks do
-   not exclude within a process), and an advisory lock on a sidecar file
-   for other processes.  The new contents land via temp-file + rename in
-   the target directory, so a reader never observes a torn file. *)
+   two-level: a module mutex for domains of this process, and a sentinel
+   lock file for other processes — [Lockfile] records the holder's PID
+   and age and breaks stale locks, so a bench run killed mid-write no
+   longer wedges every later run (the old [Unix.lockf] sidecar survived
+   kills).  The new contents land via temp-file + rename in the target
+   directory, so a reader never observes a torn file. *)
 let write_mutex = Mutex.create ()
-
-let with_file_lock path f =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd (* also releases the lock *))
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      f ())
 
 let write t ~path =
   let ours =
     match to_json t with Json.List items -> items | _ -> assert false
   in
   Mutex.protect write_mutex @@ fun () ->
-  with_file_lock (path ^ ".lock") @@ fun () ->
+  Search_resilience.Lockfile.with_lock ~path:(path ^ ".lock") @@ fun () ->
   let kept =
     match read_file path with
     | None -> []

@@ -1,12 +1,23 @@
 (* One mutex/condition pair guards everything: the queue, the shutdown
-   flag and every promise's state.  [wake] is broadcast on each of the
-   three events an idle domain can be waiting for — new work, a promise
-   resolving, shutdown — which keeps the protocol obviously deadlock-free
-   at the cost of some spurious wake-ups (fine at table-row granularity).
+   flag, the pending-promise registry and every promise's state.  [wake]
+   is broadcast on each of the three events an idle domain can be waiting
+   for — new work, a promise resolving, shutdown — which keeps the
+   protocol obviously deadlock-free at the cost of some spurious wake-ups
+   (fine at table-row granularity).
 
    Every critical section goes through [Mutex.protect] so an exception
    raised inside (e.g. [async] on a closed pool) cannot leak the lock;
-   jobs themselves always run outside the protected region. *)
+   jobs themselves always run outside the protected region.
+
+   Shutdown protocol: queued-but-unstarted jobs are dropped and every
+   still-pending promise is failed with [Pool_closed], then [wake] is
+   broadcast — so a waiter parked in [Condition.wait] inside [await]
+   wakes, observes [Failed] and raises, instead of sleeping forever on a
+   pool nobody will ever run work for.  Jobs already executing on a
+   worker finish normally, but their late result is discarded (the
+   promise is already [Failed]; first writer wins). *)
+
+module E = Search_numerics.Search_error
 
 type 'a state =
   | Pending
@@ -19,10 +30,13 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closing : bool;
   mutable workers : unit Domain.t list;
+  mutable pending : hidden list;
+  mutable since_prune : int;
   jobs : int;
 }
 
-type 'a promise = { pool : t; mutable result : 'a state }
+and 'a promise = { pool : t; mutable result : 'a state }
+and hidden = Hide : 'a promise -> hidden
 
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.jobs
@@ -48,7 +62,7 @@ let worker t =
 
 let create ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs < 1 then invalid_arg "Pool.create: need jobs >= 1";
+  if jobs < 1 then E.invalid ~where:"Pool.create" "need jobs >= 1";
   let t =
     {
       mutex = Mutex.create ();
@@ -56,11 +70,28 @@ let create ?jobs () =
       queue = Queue.create ();
       closing = false;
       workers = [];
+      pending = [];
+      since_prune = 0;
       jobs;
     }
   in
   t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
+
+(* Registry upkeep: long-lived pools submit thousands of promises, so the
+   registry is compacted every so often instead of on every resolution
+   (which would be quadratic). *)
+let prune_every = 1024
+
+let prune_locked t =
+  t.since_prune <- t.since_prune + 1;
+  if t.since_prune >= prune_every then begin
+    t.since_prune <- 0;
+    t.pending <-
+      List.filter
+        (fun (Hide p) -> match p.result with Pending -> true | _ -> false)
+        t.pending
+  end
 
 let async t f =
   let p = { pool = t; result = Pending } in
@@ -71,11 +102,17 @@ let async t f =
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
     Mutex.protect t.mutex (fun () ->
-        p.result <- r;
+        (* first writer wins: shutdown may already have failed it *)
+        (match p.result with
+        | Pending -> p.result <- r
+        | Done _ | Failed _ -> ());
         Condition.broadcast t.wake)
   in
   Mutex.protect t.mutex (fun () ->
-      if t.closing then invalid_arg "Pool.async: pool is shut down";
+      if t.closing then
+        E.raise_ (E.Pool_closed { what = "Pool.async: pool is shut down" });
+      t.pending <- Hide p :: t.pending;
+      prune_locked t;
       Queue.push job t.queue;
       Condition.broadcast t.wake);
   p
@@ -110,6 +147,25 @@ let shutdown t =
     Mutex.protect t.mutex (fun () ->
         let already = t.closing in
         t.closing <- true;
+        if not already then begin
+          (* drop unstarted work and fail whatever is still pending, so
+             parked awaiters wake into a [Failed] state *)
+          Queue.clear t.queue;
+          let bt = Printexc.get_callstack 0 in
+          List.iter
+            (fun (Hide p) ->
+              match p.result with
+              | Pending ->
+                  p.result <-
+                    Failed
+                      ( E.Error
+                          (E.Pool_closed
+                             { what = "task abandoned by Pool.shutdown" }),
+                        bt )
+              | Done _ | Failed _ -> ())
+            t.pending;
+          t.pending <- []
+        end;
         Condition.broadcast t.wake;
         already)
   in

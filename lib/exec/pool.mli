@@ -36,16 +36,21 @@ val jobs : t -> int
 val async : t -> (unit -> 'a) -> 'a promise
 (** Submit a task.  Tasks may themselves call [async]/[await] on the
     same pool (nested fan-out).
-    @raise Invalid_argument on a pool that was shut down. *)
+    @raise Search_numerics.Search_error.Error with [Pool_closed] on a
+    pool that was shut down. *)
 
 val await : 'a promise -> 'a
 (** Block until the task has run, helping to drain the queue in the
     meantime; returns its value or re-raises its exception (with the
-    original backtrace). *)
+    original backtrace).  A promise abandoned by {!shutdown} raises
+    [Search_error.Error (Pool_closed _)]. *)
 
 val shutdown : t -> unit
-(** Drain the queue and join the worker domains.  Idempotent.  Promises
-    never awaited are not guaranteed to have run. *)
+(** Close the pool and join the worker domains.  Idempotent.  Queued
+    tasks that have not started are dropped; every promise still pending
+    (including those whose task was dropped) fails with [Pool_closed],
+    and waiters parked in {!await} are woken — shutdown never strands a
+    waiter in [Condition.wait]. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] = create, run [f], always shutdown. *)

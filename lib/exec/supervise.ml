@@ -1,0 +1,69 @@
+module E = Search_numerics.Search_error
+module Json = Search_numerics.Json
+module Budget = Search_resilience.Budget
+module Cancel = Search_resilience.Cancel
+module Retry = Search_resilience.Retry
+module Chaos = Search_resilience.Chaos
+module Journal = Search_resilience.Journal
+
+type spec = {
+  budget : Budget.t;
+  retry : Retry.policy;
+  chaos : Chaos.t;
+  cancel : Cancel.t option;
+}
+
+let default =
+  {
+    budget = Budget.unlimited;
+    retry = Retry.none;
+    chaos = Chaos.disabled;
+    cancel = None;
+  }
+
+type 'b persist = {
+  journal : Journal.t;
+  encode : 'b -> Json.t;
+  decode : Json.t -> ('b, string) result;
+}
+
+let run_one spec ~task x f =
+  Retry.run ~policy:spec.retry ~task (fun ~attempt ->
+      (match spec.cancel with
+      | Some c -> Cancel.check c ~task
+      | None -> ());
+      Chaos.run spec.chaos ~task ~attempt (fun () ->
+          let meter = Budget.start spec.budget ~task in
+          f meter x))
+
+let map pool ?(spec = default) ?persist ~task ~f items =
+  let cached key =
+    match persist with
+    | None -> None
+    | Some p -> (
+        match Option.map p.decode (Journal.find p.journal key) with
+        | Some (Ok v) -> Some v
+        | Some (Error _) | None -> None)
+  in
+  let slots =
+    List.mapi
+      (fun i x ->
+        let key = task i x in
+        match cached key with
+        | Some v -> `Cached v
+        | None ->
+            `Running
+              (Pool.async pool (fun () ->
+                   let r = run_one spec ~task:key x f in
+                   (match (r, persist) with
+                   | Ok v, Some p ->
+                       (* checkpoint from the worker, before anything can
+                          kill the run *)
+                       Journal.record p.journal ~key (p.encode v)
+                   | Ok _, None | Error _, _ -> ());
+                   r)))
+      items
+  in
+  List.map
+    (function `Cached v -> Ok v | `Running p -> Pool.await p)
+    slots

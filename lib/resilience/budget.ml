@@ -1,0 +1,57 @@
+module E = Search_numerics.Search_error
+
+type t = { steps : int option; seconds : float option }
+
+let unlimited = { steps = None; seconds = None }
+
+let make ?steps ?seconds () =
+  (match steps with
+  | Some s when s <= 0 ->
+      E.invalid ~where:"Budget.make" "steps limit must be positive"
+  | _ -> ());
+  (match seconds with
+  | Some s when not (s > 0.) ->
+      E.invalid ~where:"Budget.make" "seconds limit must be positive"
+  | _ -> ());
+  { steps; seconds }
+
+let is_unlimited t = Option.is_none t.steps && Option.is_none t.seconds
+
+type meter = {
+  spec : t;
+  task : string;
+  mutable consumed : int;
+  started : float;  (** 0. when no wall-clock limit is armed *)
+}
+
+let start spec ~task =
+  let started =
+    (* the clock is read only when a seconds cap was requested, so fully
+       deterministic budgets never touch wall time *)
+    match spec.seconds with None -> 0. | Some _ -> Unix.gettimeofday ()
+  in
+  { spec; task; consumed = 0; started }
+
+let step ?(cost = 1) m =
+  m.consumed <- m.consumed + cost;
+  (match m.spec.steps with
+  | Some limit when m.consumed > limit ->
+      E.raise_
+        (E.Budget_exceeded
+           {
+             task = m.task;
+             resource = E.Steps;
+             limit = float_of_int limit;
+             spent = float_of_int m.consumed;
+           })
+  | Some _ | None -> ());
+  match m.spec.seconds with
+  | Some limit ->
+      let spent = Unix.gettimeofday () -. m.started in
+      if spent > limit then
+        E.raise_
+          (E.Budget_exceeded
+             { task = m.task; resource = E.Seconds; limit; spent })
+  | None -> ()
+
+let used m = m.consumed

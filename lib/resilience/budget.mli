@@ -1,0 +1,39 @@
+(** Per-task budgets: deterministic step limits, optional wall-clock caps.
+
+    A {!t} is a passive spec; {!start} arms it into a {!meter} that the
+    task threads through its hot loop, calling {!step} at natural progress
+    points.  Enforcement is cooperative — nothing preempts a task that
+    never calls {!step}.
+
+    Determinism contract: the step limit is exact and reproducible.  The
+    [seconds] limit reads the ambient wall clock and therefore must never
+    gate a code path whose *output* is part of a deterministic artefact;
+    it exists as a backstop against runaway tasks.  This module is the only
+    sanctioned home for that clock (see lint.allow). *)
+
+type t
+(** A budget spec; immutable and shareable across tasks. *)
+
+val unlimited : t
+
+val make : ?steps:int -> ?seconds:float -> unit -> t
+(** [make ?steps ?seconds ()] caps each supervised task at [steps]
+    {!step}-units and/or [seconds] of wall clock.  Omitted means
+    unlimited.  @raise Search_numerics.Search_error.Error on non-positive
+    limits. *)
+
+val is_unlimited : t -> bool
+
+type meter
+(** One task's running consumption against a spec. *)
+
+val start : t -> task:string -> meter
+(** Arm the budget for task [task]; the clock (if any) starts now. *)
+
+val step : ?cost:int -> meter -> unit
+(** Record [cost] (default 1) units of progress; checks both limits.
+    @raise Search_numerics.Search_error.Error with [Budget_exceeded] when
+    either limit is crossed. *)
+
+val used : meter -> int
+(** Steps consumed so far. *)

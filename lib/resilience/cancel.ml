@@ -1,0 +1,17 @@
+module E = Search_numerics.Search_error
+
+type t = string option Atomic.t
+
+let create () = Atomic.make None
+
+let cancel ?(reason = "cancelled") t =
+  (* first reason wins; a lost race means someone else already latched *)
+  ignore (Atomic.compare_and_set t None (Some reason))
+
+let reason t = Atomic.get t
+let is_cancelled t = Option.is_some (Atomic.get t)
+
+let check t ~task =
+  match Atomic.get t with
+  | None -> ()
+  | Some reason -> E.raise_ (E.Cancelled { task; reason })

@@ -1,0 +1,21 @@
+(** Cooperative cancellation tokens.
+
+    A token is shared between a controller (who calls {!cancel}) and any
+    number of supervised tasks (who poll {!check} at progress points — the
+    supervisor polls once per attempt on the tasks' behalf).  Cancellation
+    is a latch: once set it never resets, and the first reason wins. *)
+
+type t
+
+val create : unit -> t
+
+val cancel : ?reason:string -> t -> unit
+(** Latch the token; default reason ["cancelled"].  Later calls keep the
+    first reason. *)
+
+val is_cancelled : t -> bool
+val reason : t -> string option
+
+val check : t -> task:string -> unit
+(** @raise Search_numerics.Search_error.Error with [Cancelled] when the
+    token is latched. *)

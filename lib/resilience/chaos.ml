@@ -1,0 +1,88 @@
+module E = Search_numerics.Search_error
+module Prng = Search_numerics.Prng
+
+type config = {
+  seed : int;
+  fault_rate : float;
+  max_faults_ : int;
+  delay_rate : float;
+}
+
+type t = config option
+
+let disabled = None
+
+let make ?(fault_rate = 0.25) ?(max_faults = 2) ?(delay_rate = 0.25) ~seed ()
+    =
+  let rate_ok r = Float.is_finite r && r >= 0. && r <= 1. in
+  if not (rate_ok fault_rate) then
+    E.invalid ~where:"Chaos.make" "fault_rate must lie in [0, 1]";
+  if not (rate_ok delay_rate) then
+    E.invalid ~where:"Chaos.make" "delay_rate must lie in [0, 1]";
+  if max_faults < 1 then
+    E.invalid ~where:"Chaos.make" "max_faults must be positive";
+  Some { seed; fault_rate; max_faults_ = max_faults; delay_rate }
+
+let enabled t = Option.is_some t
+let max_faults = function None -> 0 | Some c -> c.max_faults_
+
+type plan = { faults : int; kinds : string list; delay : float }
+
+let no_faults = { faults = 0; kinds = []; delay = 0. }
+
+(* Fold the task key's digest into a seed perturbation so distinct tasks
+   get independent streams.  [Digest.string] (MD5) is deterministic across
+   runs, unlike the lint-banned [Hashtbl.hash]. *)
+let task_salt task =
+  let d = Digest.string task in
+  let h = ref 0 in
+  for i = 0 to 6 do
+    h := (!h lsl 8) lor Char.code d.[i]
+  done;
+  !h
+
+let compute_plan c ~task =
+  let g = Prng.make ~seed:(c.seed lxor task_salt task) in
+  let u, g = Prng.float g in
+  let faults, g =
+    if u >= c.fault_rate then (0, g)
+    else
+      (* geometric escalation: each extra fault needs another hit *)
+      let rec extra n g =
+        if n >= c.max_faults_ then (n, g)
+        else
+          let u, g = Prng.float g in
+          if u < c.fault_rate then extra (n + 1) g else (n, g)
+      in
+      extra 1 g
+  in
+  let rec kinds n g acc =
+    if n = 0 then (List.rev acc, g)
+    else
+      let b, g = Prng.bool g in
+      kinds (n - 1) g ((if b then "worker-death" else "exception") :: acc)
+  in
+  let kinds, g = kinds faults g [] in
+  let u, _ = Prng.float g in
+  let delay = if u < c.delay_rate then u *. 0.002 else 0. in
+  { faults; kinds; delay }
+
+let plan t ~task =
+  match t with None -> no_faults | Some c -> compute_plan c ~task
+
+let plan_equal a b =
+  Int.equal a.faults b.faults
+  && List.equal String.equal a.kinds b.kinds
+  && Float.equal a.delay b.delay
+
+let run t ~task ~attempt f =
+  match t with
+  | None -> f ()
+  | Some c ->
+      let p = compute_plan c ~task in
+      if p.delay > 0. then Unix.sleepf p.delay;
+      if attempt < p.faults then
+        E.raise_
+          (E.Injected_fault
+             { task; attempt; kind = List.nth p.kinds attempt })
+      else f ()

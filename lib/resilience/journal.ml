@@ -1,0 +1,101 @@
+module E = Search_numerics.Search_error
+module Json = Search_numerics.Json
+
+type t = {
+  path : string;
+  table : (string, Json.t) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable oc : out_channel option;
+}
+
+let io path what = E.raise_ (E.Io_failure { path; what })
+
+let with_io path f =
+  try f () with Sys_error msg -> io path msg
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let header config = Json.Assoc [ ("journal", Json.String "v1"); ("config", config) ]
+
+(* Load the completed prefix, tolerating a torn trailing line (the record
+   being written when the process was killed parses as garbage and is
+   simply dropped — its task recomputes). *)
+let load path table =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec lines first =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            (match Json.of_string line with
+            | Ok j when not first -> (
+                match
+                  ( Option.bind (Json.member "key" j) Json.to_string_value,
+                    Json.member "value" j )
+                with
+                | Some key, Some value -> Hashtbl.replace table key value
+                | _ -> ())
+            | Ok _ | Error _ -> ());
+            lines false
+      in
+      lines true)
+
+let open_ ~dir ~config =
+  let digest = Digest.to_hex (Digest.string (Json.to_string config)) in
+  let path =
+    Filename.concat dir ("journal-" ^ String.sub digest 0 12 ^ ".jsonl")
+  in
+  with_io path (fun () ->
+      mkdir_p dir;
+      let table = Hashtbl.create 64 in
+      let fresh = not (Sys.file_exists path) in
+      if not fresh then load path table;
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+      in
+      if fresh then begin
+        output_string oc (Json.to_string (header config));
+        output_char oc '\n';
+        flush oc
+      end;
+      { path; table; mutex = Mutex.create (); oc = Some oc })
+
+let path t = t.path
+
+let entries t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.table)
+
+let find t key = Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.table key)
+
+let record t ~key value =
+  let line =
+    Json.to_string (Json.Assoc [ ("key", Json.String key); ("value", value) ])
+  in
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.replace t.table key value;
+      match t.oc with
+      | None -> io t.path "Journal.record: journal is closed"
+      | Some oc ->
+          with_io t.path (fun () ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc))
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          t.oc <- None;
+          close_out_noerr oc)
+
+let finish t =
+  close t;
+  try Sys.remove t.path with Sys_error _ -> ()

@@ -1,0 +1,43 @@
+(** Content-addressed checkpoint/resume journal.
+
+    A journal is an append-only JSONL file under a results directory whose
+    name is derived from a digest of the run's configuration — so a rerun
+    with the same config finds its own checkpoints and a different config
+    cannot collide.  Line 1 is a header carrying the config; each later
+    line is [{"key": k, "value": v}] recording one completed task.  Every
+    record is flushed immediately, so a [SIGKILL] loses at most the line
+    being written; on reopen a torn trailing line is discarded and the run
+    resumes from the completed prefix.  Because tasks are deterministic,
+    replaying journalled values and recomputing the rest yields outputs
+    byte-identical to an uninterrupted run; {!finish} deletes the file on
+    success so completed runs leave nothing behind.
+
+    Concurrency: one journal value may be shared by pool workers in a
+    single process ({!record} is mutex-protected).  Two *processes* must
+    not share a journal file. *)
+
+type t
+
+val open_ : dir:string -> config:Search_numerics.Json.t -> t
+(** Open (resuming) or create the journal for [config] under [dir],
+    creating [dir] if needed.
+    @raise Search_numerics.Search_error.Error with [Io_failure] when the
+    directory or file cannot be used. *)
+
+val path : t -> string
+val entries : t -> int
+(** Completed records currently known (resumed + recorded). *)
+
+val find : t -> string -> Search_numerics.Json.t option
+(** The journalled value for a key, if that task already completed. *)
+
+val record : t -> key:string -> Search_numerics.Json.t -> unit
+(** Append one completed task (last write wins on duplicate keys) and
+    flush. *)
+
+val close : t -> unit
+(** Close the file, keeping it for a later resume.  Idempotent. *)
+
+val finish : t -> unit
+(** Close and delete — the run completed, checkpoints are no longer
+    needed. *)

@@ -1,0 +1,81 @@
+module E = Search_numerics.Search_error
+
+let poll_interval = 0.01
+
+(* Lock contents are "<pid> <created-epoch>\n".  A torn/unreadable lock
+   falls back to the file's mtime for the age test. *)
+
+let read_holder path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+              match String.split_on_char ' ' (String.trim line) with
+              | [ pid; created ] -> (
+                  match (int_of_string_opt pid, float_of_string_opt created)
+                  with
+                  | Some pid, Some created -> Some (pid, created)
+                  | _ -> None)
+              | _ -> None))
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true (* EPERM: alive, not ours *)
+
+let is_stale ~stale_after ~now path =
+  match read_holder path with
+  | Some (pid, created) ->
+      (not (pid_alive pid)) || now -. created > stale_after
+  | None -> (
+      (* unreadable or torn: age by mtime; a vanished file is "stale"
+         in the sense that retrying the exclusive create will settle it *)
+      match Unix.stat path with
+      | { Unix.st_mtime; _ } -> now -. st_mtime > stale_after
+      | exception Unix.Unix_error (_, _, _) -> true)
+
+let acquire ~stale_after ~give_up_after path =
+  let rec go waited =
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+        let oc = Unix.out_channel_of_descr fd in
+        Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) (Unix.gettimeofday ());
+        close_out_noerr oc
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        if waited > give_up_after then
+          E.raise_
+            (E.Io_failure
+               {
+                 path;
+                 what =
+                   Printf.sprintf "lock still held after %.0fs" give_up_after;
+               });
+        if is_stale ~stale_after ~now:(Unix.gettimeofday ()) path then begin
+          (* break it; a racing breaker may win the unlink, that's fine *)
+          (try Unix.unlink path
+           with Unix.Unix_error (_, _, _) -> ());
+          go waited
+        end
+        else begin
+          Unix.sleepf poll_interval;
+          go (waited +. poll_interval)
+        end
+    | exception Unix.Unix_error (e, _, _) ->
+        E.raise_ (E.Io_failure { path; what = Unix.error_message e })
+  in
+  go 0.
+
+let release path =
+  try Unix.unlink path with Unix.Unix_error (_, _, _) -> ()
+
+let with_lock ?(stale_after = 60.) ?(give_up_after = 30.) ~path f =
+  acquire ~stale_after ~give_up_after path;
+  Fun.protect ~finally:(fun () -> release path) f

@@ -1,0 +1,40 @@
+module E = Search_numerics.Search_error
+
+type policy = {
+  attempts : int;
+  base_delay : float;
+  factor : float;
+  max_delay : float;
+}
+
+let none = { attempts = 1; base_delay = 0.; factor = 2.; max_delay = 0. }
+
+let default =
+  { attempts = 3; base_delay = 0.001; factor = 2.; max_delay = 0.05 }
+
+let immediate ~attempts =
+  if attempts < 1 then
+    E.invalid ~where:"Retry.immediate" "need at least one attempt";
+  { none with attempts }
+
+let delay_for policy ~attempt =
+  Float.min policy.max_delay
+    (policy.base_delay *. (policy.factor ** float_of_int attempt))
+
+let run ?(policy = default) ?(sleep = Unix.sleepf) ?on_error ~task f =
+  let rec go attempt =
+    match f ~attempt with
+    | v -> Ok v
+    | exception exn ->
+        let err = E.classify ~task ~attempt exn in
+        (match on_error with
+        | Some report -> report ~attempt err
+        | None -> ());
+        if E.retryable err && attempt + 1 < policy.attempts then begin
+          let d = delay_for policy ~attempt in
+          if d > 0. then sleep d;
+          go (attempt + 1)
+        end
+        else Error err
+  in
+  go 0

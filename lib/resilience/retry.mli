@@ -1,0 +1,41 @@
+(** Retry with deterministic backoff.
+
+    The retry *decision* is fully deterministic: it depends only on the
+    policy, the attempt number, and {!Search_numerics.Search_error.retryable}
+    on the classified failure.  The backoff *sleep* affects scheduling
+    only, never results, so outputs stay byte-identical at any job count
+    (and policies with [base_delay = 0.] never sleep at all). *)
+
+type policy = {
+  attempts : int;  (** total attempts, including the first; >= 1 *)
+  base_delay : float;  (** seconds before the first retry *)
+  factor : float;  (** exponential growth per retry *)
+  max_delay : float;  (** backoff ceiling in seconds *)
+}
+
+val none : policy
+(** Single attempt, no retries. *)
+
+val default : policy
+(** 3 attempts, 1 ms base delay doubling, capped at 50 ms. *)
+
+val immediate : attempts:int -> policy
+(** [attempts] attempts with zero backoff — for tests and chaos drills.
+    @raise Search_numerics.Search_error.Error when [attempts < 1]. *)
+
+val delay_for : policy -> attempt:int -> float
+(** Backoff after failed attempt [attempt] (0-based):
+    [min max_delay (base_delay *. factor ^ attempt)].  Pure. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?on_error:(attempt:int -> Search_numerics.Search_error.t -> unit) ->
+  task:string ->
+  (attempt:int -> 'a) ->
+  ('a, Search_numerics.Search_error.t) result
+(** [run ~task f] evaluates [f ~attempt:0]; on an exception it classifies
+    the failure, reports it to [on_error], and — when retryable with
+    attempts left — backs off and tries [f ~attempt:(i+1)].  Returns the
+    first success or the last failure.  [sleep] defaults to [Unix.sleepf]
+    and is never called with a non-positive delay. *)

@@ -1,0 +1,9 @@
+(** Re-export of the shared error taxonomy.
+
+    The type and exception are defined in {!Search_numerics.Search_error}
+    (bottom of the dependency stack, so every layer can raise it); this
+    alias exists so resilience users can say [Search_resilience.Search_error]
+    without also depending on numerics directly.  [include] preserves the
+    exception identity: [Error] raised anywhere matches here. *)
+
+include module type of Search_numerics.Search_error

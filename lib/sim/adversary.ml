@@ -11,7 +11,7 @@ let default_eps = 1e-7
 let default_ratio_cap = 256.
 
 let candidate_targets trajectories ?(eps = default_eps) ~n ~time_horizon () =
-  if n < 1. then invalid_arg "Adversary.candidate_targets: need n >= 1";
+  if n < 1. then Search_numerics.Search_error.invalid ~where:"Adversary.candidate_targets" "need n >= 1";
   let world = Trajectory.world trajectories.(0) in
   let m = World.arity world in
   let depths_per_ray = Array.make m [] in
@@ -41,7 +41,7 @@ let candidate_targets trajectories ?(eps = default_eps) ~n ~time_horizon () =
 let worst_case trajectories ~f ?(eps = default_eps)
     ?(ratio_cap = default_ratio_cap) ~n () =
   if Array.length trajectories = 0 then
-    invalid_arg "Adversary.worst_case: no robots";
+    Search_numerics.Search_error.invalid ~where:"Adversary.worst_case" "no robots";
   let time_horizon = ratio_cap *. n in
   let candidates = candidate_targets trajectories ~eps ~n ~time_horizon () in
   let sup =
@@ -54,7 +54,7 @@ let worst_case trajectories ~f ?(eps = default_eps)
       Stats.sup_empty candidates
   in
   match Stats.sup_witness sup with
-  | None -> invalid_arg "Adversary.worst_case: empty candidate set"
+  | None -> Search_numerics.Search_error.invalid ~where:"Adversary.worst_case" "empty candidate set"
   | Some witness ->
       let ratio = Stats.sup_value sup in
       let detection_time =

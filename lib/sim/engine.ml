@@ -4,7 +4,7 @@ let first_visits trajectories ~target ~horizon =
 let detection_time_fixed trajectories ~assignment ~target ~horizon =
   let { Fault.faulty; _ } = assignment in
   if Array.length faulty <> Array.length trajectories then
-    invalid_arg "Engine.detection_time_fixed: assignment arity mismatch";
+    Search_numerics.Search_error.invalid ~where:"Engine.detection_time_fixed" "assignment arity mismatch";
   let best = ref None in
   Array.iteri
     (fun r tr ->
@@ -18,7 +18,7 @@ let detection_time_fixed trajectories ~assignment ~target ~horizon =
   !best
 
 let detection_time_worst trajectories ~f ~target ~horizon =
-  if f < 0 then invalid_arg "Engine.detection_time_worst: f < 0";
+  if f < 0 then Search_numerics.Search_error.invalid ~where:"Engine.detection_time_worst" "f < 0";
   let times =
     first_visits trajectories ~target ~horizon
     |> Array.to_list
@@ -29,7 +29,7 @@ let detection_time_worst trajectories ~f ~target ~horizon =
 
 let detection_ratio trajectories ~f ~target ~time_horizon =
   if target.World.dist < 1. then
-    invalid_arg "Engine.detection_ratio: need |target| >= 1";
+    Search_numerics.Search_error.invalid ~where:"Engine.detection_ratio" "need |target| >= 1";
   match detection_time_worst trajectories ~f ~target ~horizon:time_horizon with
   | None -> infinity
   | Some t -> t /. target.World.dist

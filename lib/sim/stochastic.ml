@@ -1,25 +1,25 @@
 type distribution = { support : (World.point * float) list }
 
 let make support =
-  if support = [] then invalid_arg "Stochastic.make: empty support";
+  if support = [] then Search_numerics.Search_error.invalid ~where:"Stochastic.make" "empty support";
   List.iter
     (fun (_, w) ->
       (* the finiteness guard matters: [w <= 0.] is false for a NaN
          weight, and a NaN total defeats the sum check below (every
          comparison against NaN is false) *)
       if not (Float.is_finite w) then
-        invalid_arg "Stochastic.make: weight not finite";
-      if w <= 0. then invalid_arg "Stochastic.make: weight <= 0")
+        Search_numerics.Search_error.invalid ~where:"Stochastic.make" "weight not finite";
+      if w <= 0. then Search_numerics.Search_error.invalid ~where:"Stochastic.make" "weight <= 0")
     support;
   let total = List.fold_left (fun a (_, w) -> a +. w) 0. support in
   if Float.abs (total -. 1.) > 1e-9 then
-    invalid_arg "Stochastic.make: weights must sum to 1";
+    Search_numerics.Search_error.invalid ~where:"Stochastic.make" "weights must sum to 1";
   { support = List.map (fun (p, w) -> (p, w /. total)) support }
 
 let uniform_line ~cells ~lo ~hi =
   if not (1. <= lo && lo < hi) then
-    invalid_arg "Stochastic.uniform_line: need 1 <= lo < hi";
-  if cells < 1 then invalid_arg "Stochastic.uniform_line: need cells >= 1";
+    Search_numerics.Search_error.invalid ~where:"Stochastic.uniform_line" "need 1 <= lo < hi";
+  if cells < 1 then Search_numerics.Search_error.invalid ~where:"Stochastic.uniform_line" "need cells >= 1";
   let w = 1. /. float_of_int (2 * cells) in
   let step = (hi -. lo) /. float_of_int cells in
   let side ray =
@@ -30,9 +30,9 @@ let uniform_line ~cells ~lo ~hi =
   make (side 0 @ side 1)
 
 let geometric_line ~ratio ~terms ~lo =
-  if ratio <= 1. then invalid_arg "Stochastic.geometric_line: need ratio > 1";
-  if terms < 1 then invalid_arg "Stochastic.geometric_line: need terms >= 1";
-  if lo < 1. then invalid_arg "Stochastic.geometric_line: need lo >= 1";
+  if ratio <= 1. then Search_numerics.Search_error.invalid ~where:"Stochastic.geometric_line" "need ratio > 1";
+  if terms < 1 then Search_numerics.Search_error.invalid ~where:"Stochastic.geometric_line" "need terms >= 1";
+  if lo < 1. then Search_numerics.Search_error.invalid ~where:"Stochastic.geometric_line" "need lo >= 1";
   let weights = List.init terms (fun j -> ratio ** float_of_int (-j)) in
   let total = 2. *. List.fold_left ( +. ) 0. weights in
   let side ray =

@@ -8,7 +8,15 @@ let make ?alpha ?l_min params =
   (match Params.regime params with
   | Params.Searching -> ()
   | Params.Unsolvable | Params.Ratio_one ->
-      invalid_arg "Mray_exponential.make: instance not in the searching regime");
+      let { Params.m; k; f } = params in
+      Search_numerics.Search_error.raise_
+        (Search_numerics.Search_error.Regime_violation
+           {
+             m;
+             k;
+             f;
+             what = "Mray_exponential.make: instance not in the searching regime";
+           }));
   let { Params.m; k; f } = params in
   let q = Params.q params in
   let alpha =

@@ -24,7 +24,13 @@ let detection_time ~beta ~u ~positive_first ~x =
   let turns = turning ~beta ~u in
   let rec walk i pos time =
     if i > 10_000 then
-      invalid_arg "Randomized.detection_time: target not reached in 10^4 legs"
+      Search_numerics.Search_error.raise_
+        (Search_numerics.Search_error.Non_convergence
+           {
+             where = "Randomized.detection_time";
+             steps = 10_000;
+             detail = "target not reached";
+           })
     else
       let sign =
         if Bool.equal (i mod 2 = 1) positive_first then 1. else -1.

@@ -3,6 +3,7 @@
    transfer, and the asymptotic identities. *)
 
 module P = Search_bounds.Params
+module E = Search_numerics.Search_error
 module F = Search_bounds.Formulas
 module L = Search_bounds.Lemma
 module B = Search_bounds.Byzantine
@@ -97,7 +98,9 @@ let test_mu_boundary () =
   checkf "mu_rho 1 = 1" 1. (F.mu_rho 1.)
 
 let test_mu_validation () =
-  Alcotest.check_raises "k > q" (Invalid_argument "Formulas.mu: need 0 < k <= q")
+  Alcotest.check_raises "k > q"
+    (E.Error
+       (E.Invalid_input { where = "Formulas.mu"; what = "need 0 < k <= q" }))
     (fun () -> ignore (F.mu ~q:2 ~k:3))
 
 let test_c_eta () =
@@ -112,8 +115,10 @@ let test_alpha_star () =
   let a = F.alpha_star ~q:6 ~k:4 in
   checkf "defining identity" (6. /. 2.) (a ** 4.);
   Alcotest.check_raises "k = q invalid"
-    (Invalid_argument "Formulas.alpha_star: need 0 < k < q") (fun () ->
-      ignore (F.alpha_star ~q:3 ~k:3))
+    (E.Error
+       (E.Invalid_input
+          { where = "Formulas.alpha_star"; what = "need 0 < k < q" }))
+    (fun () -> ignore (F.alpha_star ~q:3 ~k:3))
 
 let test_exponential_ratio_at_optimum () =
   (* at alpha*, the exponential strategy achieves exactly lambda0 *)
@@ -191,8 +196,10 @@ let test_delta_threshold () =
 
 let test_ratio_validation () =
   Alcotest.check_raises "x out of range"
-    (Invalid_argument "Lemma.ratio: need 0 < x < mu_star") (fun () ->
-      ignore (L.ratio ~s:1 ~k:1 ~mu_star:2. ~x:2.))
+    (E.Error
+       (E.Invalid_input
+          { where = "Lemma.ratio"; what = "need 0 < x < mu_star" }))
+    (fun () -> ignore (L.ratio ~s:1 ~k:1 ~mu_star:2. ~x:2.))
 
 (* ------------------------------------------------------------------ *)
 (* Byzantine *)
@@ -276,8 +283,10 @@ let test_planning_rho_inverse () =
   let rho = Pl.rho_for_lambda ~lambda:6. in
   checkf "roundtrip" 6. ((2. *. F.mu_rho rho) +. 1.);
   Alcotest.check_raises "below 3"
-    (Invalid_argument "Planning.rho_for_lambda: need lambda >= 3") (fun () ->
-      ignore (Pl.rho_for_lambda ~lambda:2.5))
+    (E.Error
+       (E.Invalid_input
+          { where = "Planning.rho_for_lambda"; what = "need lambda >= 3" }))
+    (fun () -> ignore (Pl.rho_for_lambda ~lambda:2.5))
 
 let test_planning_cheapest_fleets () =
   let plans = Pl.cheapest_fleets ~m:2 ~lambda:6. ~max_f:3 in

@@ -10,6 +10,7 @@ module Shard = Search_exec.Shard
 module Memo = Search_exec.Memo
 module Metrics = Search_exec.Metrics
 module Prng = Search_numerics.Prng
+module E = Search_numerics.Search_error
 module F = Search_bounds.Formulas
 module R = Search_strategy.Randomized
 
@@ -86,7 +87,78 @@ let test_pool_shutdown_rejects () =
   Pool.shutdown pool (* idempotent *);
   match Pool.async pool (fun () -> ()) with
   | _ -> Alcotest.fail "async on shut-down pool must raise"
-  | exception Invalid_argument _ -> ()
+  | exception E.Error (E.Pool_closed _) -> ()
+
+let test_pool_shutdown_fails_pending () =
+  (* a promise still pending at shutdown must not wedge a later await:
+     shutdown fails it with Pool_closed.  Submit more tasks than workers,
+     with the queue gated so nothing completes before shutdown runs. *)
+  let pool = Pool.create ~jobs:1 () in
+  let gate = Atomic.make false in
+  let slow =
+    List.init 4 (fun i ->
+        Pool.async pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            i))
+  in
+  (* let the single worker pick up (at most) the first task, then open
+     the gate from a separate domain after shutdown has been called so
+     the in-flight task can finish and shutdown's join returns *)
+  let opener =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Atomic.set gate true)
+  in
+  Pool.shutdown pool;
+  Domain.join opener;
+  let outcomes =
+    List.map
+      (fun p ->
+        match Pool.await p with
+        | v -> `Done v
+        | exception E.Error (E.Pool_closed _) -> `Abandoned
+        | exception e -> `Other (Printexc.to_string e))
+      slow
+  in
+  (* every promise resolved — none wedged; abandoned ones carry
+     Pool_closed, and any that ran to completion returned its index *)
+  List.iteri
+    (fun i o ->
+      match o with
+      | `Abandoned -> ()
+      | `Done v -> check_int (Printf.sprintf "task %d value" i) i v
+      | `Other e -> Alcotest.fail ("unexpected exception: " ^ e))
+    outcomes;
+  check_bool "at least one task was abandoned" true
+    (List.exists (fun o -> o = `Abandoned) outcomes)
+
+let test_pool_exception_does_not_wedge_siblings () =
+  (* one raising task among many: siblings complete, the pool's mutex is
+     not left held, and with_pool joins all domains cleanly *)
+  at_each_size "no-wedge" @@ fun ~jobs pool ->
+  let mixed =
+    List.init 20 (fun i ->
+        Pool.async pool (fun () ->
+            if i mod 5 = 2 then raise (Boom i) else i * 3))
+  in
+  let got =
+    List.mapi
+      (fun i p ->
+        match Pool.await p with
+        | v -> `Ok v
+        | exception Boom n ->
+            check_int (Printf.sprintf "boom payload %d" i) i n;
+            `Boom)
+      mixed
+  in
+  let expected =
+    List.init 20 (fun i -> if i mod 5 = 2 then `Boom else `Ok (i * 3))
+  in
+  check_bool
+    (Printf.sprintf "mixed outcomes exact at jobs=%d" jobs)
+    true (got = expected)
 
 (* ------------------------------------------------------------------ *)
 (* Par: parallel_map == List.map on the real bench grids *)
@@ -359,6 +431,10 @@ let () =
             test_pool_nested_submit;
           tc "shutdown is idempotent and rejects new work" `Quick
             test_pool_shutdown_rejects;
+          tc "shutdown fails promises still pending" `Quick
+            test_pool_shutdown_fails_pending;
+          tc "a raising task does not wedge its siblings" `Quick
+            test_pool_exception_does_not_wedge_siblings;
         ] );
       ( "par",
         [

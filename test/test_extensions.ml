@@ -361,10 +361,16 @@ let test_tc_origin_charging () =
 
 let test_st_distribution_validation () =
   (match St.make [] with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Search_numerics.Search_error.Error
+        (Search_numerics.Search_error.Invalid_input _) ->
+      ()
   | _ -> Alcotest.fail "empty support accepted");
   (match St.make [ (W.point W.line ~ray:0 ~dist:2., 0.4) ] with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Search_numerics.Search_error.Error
+        (Search_numerics.Search_error.Invalid_input _) ->
+      ()
   | _ -> Alcotest.fail "non-normalised accepted");
   let d = St.uniform_line ~cells:10 ~lo:1. ~hi:10. in
   let total = List.fold_left (fun a (_, w) -> a +. w) 0. d.St.support in

@@ -356,8 +356,10 @@ let test_stochastic_sum_tolerance () =
   checkf "renormalised E|d|" 2. (St.expected_distance d);
   (* off by 2e-9: outside the tolerance, rejected *)
   Alcotest.check_raises "sum off by 2e-9"
-    (Invalid_argument "Stochastic.make: weights must sum to 1") (fun () ->
-      ignore (St.make [ (p, 0.5); (q, 0.5 +. 2e-9) ]))
+    (Search_numerics.Search_error.Error
+       (Search_numerics.Search_error.Invalid_input
+          { where = "Stochastic.make"; what = "weights must sum to 1" }))
+    (fun () -> ignore (St.make [ (p, 0.5); (q, 0.5 +. 2e-9) ]))
 
 let test_stochastic_single_point () =
   let p = W.point W.line ~ray:0 ~dist:5. in
@@ -369,19 +371,20 @@ let test_stochastic_single_point () =
 let test_stochastic_rejects_bad_weights () =
   let p = W.point W.line ~ray:0 ~dist:1. in
   let q = W.point W.line ~ray:1 ~dist:2. in
-  let expect_invalid msg support =
-    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
-        ignore (St.make support))
+  let expect_invalid what support =
+    Alcotest.check_raises what
+      (Search_numerics.Search_error.Error
+         (Search_numerics.Search_error.Invalid_input
+            { where = "Stochastic.make"; what }))
+      (fun () -> ignore (St.make support))
   in
-  expect_invalid "Stochastic.make: empty support" [];
+  expect_invalid "empty support" [];
   (* NaN weights used to slip past [w <= 0.] (false for NaN) and then
      poison the sum check; now rejected up front *)
-  expect_invalid "Stochastic.make: weight not finite"
-    [ (p, 0.5); (q, Float.nan) ];
-  expect_invalid "Stochastic.make: weight not finite"
-    [ (p, 0.5); (q, infinity) ];
-  expect_invalid "Stochastic.make: weight <= 0" [ (p, 1.); (q, 0.) ];
-  expect_invalid "Stochastic.make: weight <= 0" [ (p, 1.5); (q, -0.5) ]
+  expect_invalid "weight not finite" [ (p, 0.5); (q, Float.nan) ];
+  expect_invalid "weight not finite" [ (p, 0.5); (q, infinity) ];
+  expect_invalid "weight <= 0" [ (p, 1.); (q, 0.) ];
+  expect_invalid "weight <= 0" [ (p, 1.5); (q, -0.5) ]
 
 (* ------------------------------------------------------------------ *)
 (* Adversary / Competitive *)

@@ -242,10 +242,17 @@ let test_mray_defaults () =
 
 let test_mray_rejects_trivial () =
   (match Mray.make (P.line ~k:4 ~f:1) with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Search_numerics.Search_error.Error
+        (Search_numerics.Search_error.Regime_violation
+           { m = 2; k = 4; f = 1; _ }) ->
+      ()
   | _ -> Alcotest.fail "ratio-one instance accepted");
   match Mray.make (P.line ~k:2 ~f:2) with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Search_numerics.Search_error.Error
+        (Search_numerics.Search_error.Regime_violation _) ->
+      ()
   | _ -> Alcotest.fail "unsolvable instance accepted"
 
 let test_mray_ray_cycle () =
