@@ -750,10 +750,11 @@ let root_arg =
   Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc)
 
 let format_arg =
-  let doc = "Output format: $(b,text) or $(b,json)." in
+  let doc = "Output format: $(b,text), $(b,json) or $(b,github) (GitHub \
+             Actions ::error annotations)." in
   Arg.(
     value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & opt (enum [ ("text", `Text); ("json", `Json); ("github", `Github) ]) `Text
     & info [ "format" ] ~docv:"FMT" ~doc)
 
 let rules_arg =
@@ -763,7 +764,25 @@ let rules_arg =
   in
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
 
-let lint_run root format rules jobs =
+let deep_arg =
+  let doc =
+    "Also run the typed interprocedural analyses (nondeterminism taint, \
+     static race/lockset, mutex-order cycles) over the .cmt artefacts \
+     dune emitted for the tree.  Build first: $(b,dune build @all)."
+  in
+  Arg.(value & flag & info [ "deep" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "Fail (exit 1) when lint.allow contains stale entries — audited \
+     exceptions that no longer match any finding."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+(* Exit codes follow the CLI-wide contract: 0 clean, 1 verified finding
+   (or, under --strict, a stale allowlist entry), 2 usage, 3 internal
+   (the tree itself could not be parsed/loaded). *)
+let lint_run root format rules deep strict jobs =
   if not (check_jobs jobs) then exit_usage
   else
     let module A = FS.Analysis in
@@ -783,7 +802,7 @@ let lint_run root format rules jobs =
             Format.eprintf "lint: %s@." msg;
             exit_usage
         | Ok allow -> (
-            match A.Driver.run ?jobs ?rules ~allow ~root () with
+            match A.Driver.run ?jobs ?rules ~deep ~allow ~root () with
             | exception Invalid_argument msg ->
                 Format.eprintf "lint: %s@." msg;
                 exit_usage
@@ -791,18 +810,21 @@ let lint_run root format rules jobs =
                 print_string
                   (match format with
                   | `Text -> A.Driver.render_text outcome
-                  | `Json -> A.Driver.render_json outcome);
-                if outcome.A.Driver.findings = [] then exit_ok else
-                  exit_finding))
+                  | `Json -> A.Driver.render_json outcome
+                  | `Github -> A.Driver.render_github outcome);
+                A.Driver.exit_code ~strict outcome))
 
 let lint_cmd =
   let doc =
     "Determinism & numeric-safety lint over lib/, bin/, bench/ and test/ \
-     (exit 1 on any finding not suppressed by lint.allow)."
+     (exit 1 on any finding not suppressed by lint.allow; with --deep, \
+     also the typed interprocedural analyses)."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
-    Term.(const lint_run $ root_arg $ format_arg $ rules_arg $ jobs_arg)
+    Term.(
+      const lint_run $ root_arg $ format_arg $ rules_arg $ deep_arg
+      $ strict_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

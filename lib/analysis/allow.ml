@@ -1,6 +1,7 @@
-type t = { pairs : (string * string) list }
+type entry = { rule : string; path : string; line : int }
+type t = { items : entry list }
 
-let empty = { pairs = [] }
+let empty = { items = [] }
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -15,11 +16,12 @@ let split_words s =
 let parse contents =
   let lines = String.split_on_char '\n' contents in
   let rec go lineno acc = function
-    | [] -> Ok { pairs = List.rev acc }
+    | [] -> Ok { items = List.rev acc }
     | line :: rest -> (
         match split_words (strip_comment line) with
         | [] -> go (lineno + 1) acc rest
-        | [ rule; path ] -> go (lineno + 1) ((rule, path) :: acc) rest
+        | [ rule; path ] ->
+            go (lineno + 1) ({ rule; path; line = lineno } :: acc) rest
         | _ ->
             Error
               (Printf.sprintf
@@ -42,7 +44,8 @@ let load path =
 
 let permits t ~rule ~file =
   List.exists
-    (fun (r, p) -> (r = "*" || String.equal r rule) && String.equal p file)
-    t.pairs
+    (fun e -> (e.rule = "*" || String.equal e.rule rule) && String.equal e.path file)
+    t.items
 
-let entries t = t.pairs
+let entries t = List.map (fun e -> (e.rule, e.path)) t.items
+let entries_located t = List.map (fun e -> (e.rule, e.path, e.line)) t.items

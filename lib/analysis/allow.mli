@@ -28,3 +28,7 @@ val permits : t -> rule:string -> file:string -> bool
 
 val entries : t -> (string * string) list
 (** All (rule, file) pairs, in file order — for diagnostics. *)
+
+val entries_located : t -> (string * string * int) list
+(** Like {!entries} with each entry's [lint.allow] line number — the
+    stale-entry report points back at the line to delete. *)

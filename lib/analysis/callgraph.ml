@@ -1,0 +1,534 @@
+(* Per-unit def/use extraction over the Typedtree, and the global,
+   alias-resolved call graph the deep passes run on.
+
+   Names.  Every entity gets one canonical dotted name rooted at its
+   compilation unit: the function [map] in [lib/exec/supervise.ml] is
+   ["Search_exec__Supervise.map"].  References are canonicalised the
+   same way — a use spelled [Pool.async] types as the path
+   [Search_exec.Pool.async], and the wrapper unit's alias table
+   (harvested from the [search_exec] cmt dune generates) rewrites it to
+   ["Search_exec__Pool.async"], the def's own name.  Local [module X =
+   ...] aliases are resolved through the unit's own top-level items.
+   References that do not reach a top-level entity (function arguments,
+   let-bound locals) canonicalise to [None] and drop out: the graph is
+   deliberately at top-level-definition granularity.
+
+   Context.  Each reference and mutation is recorded together with the
+   list of top-level mutexes held at that program point — maintained by
+   walking into the closure argument of [Mutex.protect m (fun () ->
+   ...)] (the only locking idiom the lock-discipline rule admits) —
+   which is exactly what the lockset pass needs. *)
+
+type reference = { target : string; rloc : Location.t; rheld : string list }
+
+type mutation = {
+  cell : string;
+  via : string;  (** the mutator applied, e.g. [":="] or ["Hashtbl.replace"] *)
+  mloc : Location.t;
+  mheld : string list;
+}
+
+type protect_event = {
+  lock : string;
+  ploc : Location.t;
+  outer : string list;  (** locks already held when this one is taken *)
+}
+
+type cell_kind = Ref | Table | Container | Atomic
+
+type cell = {
+  cell_name : string;
+  kind : cell_kind;
+  cell_file : string;
+  cell_loc : Location.t;
+}
+
+type def = {
+  name : string;
+  display : string;
+  file : string;
+  dloc : Location.t;
+  refs : reference list;
+  mutations : mutation list;
+  protects : protect_event list;
+  pool_entry : bool;
+}
+
+type summary = {
+  unit_name : string;
+  unit_file : string option;
+  defs : def list;
+  cells : cell list;
+  mutexes : (string * Location.t) list;
+  aliases : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* small helpers                                                       *)
+
+let strip_stdlib name =
+  match String.index_opt name '.' with
+  | Some 6 when String.starts_with ~prefix:"Stdlib." name ->
+      String.sub name 7 (String.length name - 7)
+  | _ -> name
+
+(* "Search_exec__Pool.async" -> "Pool.async"; the unit-name mangling is
+   a dune implementation detail humans should not have to read. *)
+let display_name name =
+  match String.index_opt name '.' with
+  | None -> name
+  | Some i ->
+      let head = String.sub name 0 i in
+      let rest = String.sub name i (String.length name - i) in
+      let rec last_sep from acc =
+        match String.index_from_opt head from '_' with
+        | Some j when j + 1 < String.length head && head.[j + 1] = '_' ->
+            last_sep (j + 2) (Some (j + 2))
+        | Some j -> last_sep (j + 1) acc
+        | None -> acc
+      in
+      let head =
+        match last_sep 0 None with
+        | Some j -> String.sub head j (String.length head - j)
+        | None -> head
+      in
+      head ^ rest
+
+(* Write-mutators on the tracked cell families, keyed by their
+   Stdlib-stripped canonical name.  Reads need no table: any reference
+   to a cell is recorded as a plain use by the generic walk. *)
+let write_mutators =
+  [
+    ":="; "incr"; "decr";
+    "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.filter_map_inplace"; "Hashtbl.add_seq";
+    "Hashtbl.replace_seq";
+    "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.take_opt";
+    "Queue.clear"; "Queue.transfer"; "Queue.add_seq";
+    "Stack.push"; "Stack.pop"; "Stack.pop_opt"; "Stack.clear"; "Stack.drain";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_substring"; "Buffer.add_subbytes"; "Buffer.add_buffer";
+    "Buffer.add_channel"; "Buffer.clear"; "Buffer.reset"; "Buffer.truncate";
+    "Array.set"; "Array.fill"; "Array.blit"; "Array.sort"; "Array.unsafe_set";
+    "Atomic.set"; "Atomic.exchange"; "Atomic.compare_and_set";
+    "Atomic.fetch_and_add"; "Atomic.incr"; "Atomic.decr";
+  ]
+
+let cell_ctor = function
+  | "ref" -> Some Ref
+  | "Hashtbl.create" -> Some Table
+  | "Atomic.make" -> Some Atomic
+  | "Queue.create" | "Stack.create" | "Buffer.create" | "Dynarray.create"
+  | "Array.make" | "Array.init" | "Array.create_float" ->
+      Some Container
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* per-unit extraction                                                 *)
+
+type acc = {
+  mutable a_refs : reference list;
+  mutable a_mutations : mutation list;
+  mutable a_protects : protect_event list;
+}
+
+let empty_summary u =
+  {
+    unit_name = u.Cmt_loader.modname;
+    unit_file = u.Cmt_loader.source;
+    defs = [];
+    cells = [];
+    mutexes = [];
+    aliases = [];
+  }
+
+let summarize (u : Cmt_loader.unit_info) =
+  match u.Cmt_loader.structure with
+  | None -> empty_summary u
+  | Some st ->
+      let unit_name = u.Cmt_loader.modname in
+      let file = Option.value u.Cmt_loader.source ~default:u.Cmt_loader.cmt_path in
+      (* top-level idents of this unit, by stamp: values and modules *)
+      let locals : (Ident.t * string) list ref = ref [] in
+      let bind id canonical = locals := (id, canonical) :: !locals in
+      let lookup id =
+        List.find_map
+          (fun (i, c) -> if Ident.same i id then Some c else None)
+          !locals
+      in
+      let rec canon = function
+        | Path.Pident id ->
+            if Ident.global id then Some (Ident.name id) else lookup id
+        | Path.Pdot (p, s) -> Option.map (fun b -> b ^ "." ^ s) (canon p)
+        | Path.Papply _ | Path.Pextra_ty _ -> None
+      in
+      let aliases = ref [] in
+      let cells = ref [] in
+      let mutexes = ref [] in
+      let defs = ref [] in
+      (* the synthetic def collecting top-level effects: [let () = ...]
+         and [Tstr_eval] items — the natural roots of test binaries *)
+      let init_acc = ref None in
+      let init_name = unit_name ^ ".(init)" in
+      let fresh_acc () = { a_refs = []; a_mutations = []; a_protects = [] } in
+      let held = ref [] in
+      let current = ref (fresh_acc ()) in
+      (* expression walker: records references, write-mutations and
+         Mutex.protect nesting into [current], in context [held] *)
+      let super = Tast_iterator.default_iterator in
+      let rec walk_expr self (e : Typedtree.expression) =
+        match e.Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            match canon p with
+            | Some target ->
+                !current.a_refs <-
+                  { target; rloc = e.Typedtree.exp_loc; rheld = !held }
+                  :: !current.a_refs
+            | None -> ())
+        | Typedtree.Texp_apply (fn, args) ->
+            let args =
+              List.filter_map (function _, Some a -> Some a | _ -> None) args
+            in
+            handle_app self fn args
+        | Typedtree.Texp_setfield (tgt, _, _, v) ->
+            (match tgt.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> (
+                match canon p with
+                | Some cell ->
+                    !current.a_mutations <-
+                      {
+                        cell;
+                        via = "<-";
+                        mloc = e.Typedtree.exp_loc;
+                        mheld = !held;
+                      }
+                      :: !current.a_mutations
+                | None -> ())
+            | _ -> ());
+            self.Tast_iterator.expr self tgt;
+            self.Tast_iterator.expr self v
+        | _ -> super.Tast_iterator.expr self e
+      and handle_app self fn args =
+        match fn.Typedtree.exp_desc with
+        (* [Mutex.protect m @@ fun () -> ...] puts the partial
+           application [Mutex.protect m] in the function position of
+           [@@]; flatten it so the full argument list is visible *)
+        | Typedtree.Texp_apply (fn', args') ->
+            let args' =
+              List.filter_map
+                (function _, Some a -> Some a | _ -> None)
+                args'
+            in
+            handle_app self fn' (args' @ args)
+        | _ -> (
+        let fn_name =
+          match fn.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> canon p
+          | _ -> None
+        in
+        match (Option.map strip_stdlib fn_name, args) with
+        (* [f @@ x] and [x |> f] are applications of [f] to [x] *)
+        | Some "@@", [ f; x ] -> handle_app self f [ x ]
+        | Some "|>", [ x; f ] -> handle_app self f [ x ]
+        | Some "Mutex.protect", [ m; body ] ->
+            let lock =
+              match m.Typedtree.exp_desc with
+              | Typedtree.Texp_ident (p, _, _) -> canon p
+              | _ -> None
+            in
+            self.Tast_iterator.expr self m;
+            (match lock with
+            | Some lock ->
+                !current.a_protects <-
+                  { lock; ploc = m.Typedtree.exp_loc; outer = !held }
+                  :: !current.a_protects;
+                let saved = !held in
+                held := lock :: saved;
+                Fun.protect
+                  ~finally:(fun () -> held := saved)
+                  (fun () -> self.Tast_iterator.expr self body)
+            | None -> self.Tast_iterator.expr self body)
+        | fn_stripped, _ ->
+            (match (fn_stripped, args) with
+            | Some via, first :: _ when List.mem via write_mutators -> (
+                match first.Typedtree.exp_desc with
+                | Typedtree.Texp_ident (p, _, _) -> (
+                    match canon p with
+                    | Some cell ->
+                        !current.a_mutations <-
+                          {
+                            cell;
+                            via;
+                            mloc = first.Typedtree.exp_loc;
+                            mheld = !held;
+                          }
+                          :: !current.a_mutations
+                    | None -> ())
+                | _ -> ())
+            | _ -> ());
+            self.Tast_iterator.expr self fn;
+            List.iter (self.Tast_iterator.expr self) args)
+      in
+      let it = { super with expr = walk_expr } in
+      let finish_def ~prefix ~name ~dloc ~pool_entry acc =
+        defs :=
+          {
+            name = prefix ^ "." ^ name;
+            display = display_name (prefix ^ "." ^ name);
+            file;
+            dloc;
+            refs = List.rev acc.a_refs;
+            mutations = List.rev acc.a_mutations;
+            protects = List.rev acc.a_protects;
+            pool_entry;
+          }
+          :: !defs
+      in
+      let rec pat_vars (p : Typedtree.pattern) =
+        match p.Typedtree.pat_desc with
+        | Typedtree.Tpat_var (id, nm) -> [ (id, nm.Location.txt) ]
+        | Typedtree.Tpat_alias (sub, id, nm) ->
+            (id, nm.Location.txt) :: pat_vars sub
+        | Typedtree.Tpat_tuple ps -> List.concat_map pat_vars ps
+        | Typedtree.Tpat_construct (_, _, ps, _) -> List.concat_map pat_vars ps
+        | Typedtree.Tpat_record (fields, _) ->
+            List.concat_map (fun (_, _, p) -> pat_vars p) fields
+        | _ -> []
+      in
+      let has_pool_entry attrs =
+        List.exists
+          (fun (a : Parsetree.attribute) ->
+            String.equal a.Parsetree.attr_name.Location.txt "pool_entry")
+          attrs
+      in
+      let rec walk_items prefix items =
+        List.iter (walk_item prefix) items
+      and walk_item prefix (item : Typedtree.structure_item) =
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match pat_vars vb.Typedtree.vb_pat with
+                | [] ->
+                    (* [let () = ...]: top-level effects join [(init)] *)
+                    let acc =
+                      match !init_acc with
+                      | Some a -> a
+                      | None ->
+                          let a = fresh_acc () in
+                          init_acc := Some a;
+                          a
+                    in
+                    current := acc;
+                    it.Tast_iterator.expr it vb.Typedtree.vb_expr
+                | (id0, name0) :: _ as vars ->
+                    List.iter
+                      (fun (id, nm) -> bind id (prefix ^ "." ^ nm))
+                      vars;
+                    (match cell_of_binding vb with
+                    | Some `Mutex ->
+                        mutexes :=
+                          (prefix ^ "." ^ name0, vb.Typedtree.vb_loc)
+                          :: !mutexes
+                    | Some (`Cell kind) ->
+                        cells :=
+                          {
+                            cell_name = prefix ^ "." ^ name0;
+                            kind;
+                            cell_file = file;
+                            cell_loc = vb.Typedtree.vb_loc;
+                          }
+                          :: !cells
+                    | None -> ());
+                    ignore id0;
+                    let acc = fresh_acc () in
+                    current := acc;
+                    it.Tast_iterator.expr it vb.Typedtree.vb_expr;
+                    finish_def ~prefix ~name:name0 ~dloc:vb.Typedtree.vb_loc
+                      ~pool_entry:(has_pool_entry vb.Typedtree.vb_attributes)
+                      acc)
+              vbs
+        | Typedtree.Tstr_eval (e, _) ->
+            let acc =
+              match !init_acc with
+              | Some a -> a
+              | None ->
+                  let a = fresh_acc () in
+                  init_acc := Some a;
+                  a
+            in
+            current := acc;
+            it.Tast_iterator.expr it e
+        | Typedtree.Tstr_module mb -> walk_module prefix mb
+        | Typedtree.Tstr_recmodule mbs -> List.iter (walk_module prefix) mbs
+        | Typedtree.Tstr_include incl ->
+            walk_module_expr prefix None incl.Typedtree.incl_mod
+        | _ -> ()
+      and walk_module prefix (mb : Typedtree.module_binding) =
+        match mb.Typedtree.mb_id with
+        | None -> ()
+        | Some id -> walk_module_expr prefix (Some id) mb.Typedtree.mb_expr
+      and walk_module_expr prefix id (me : Typedtree.module_expr) =
+        match me.Typedtree.mod_desc with
+        | Typedtree.Tmod_constraint (inner, _, _, _) ->
+            walk_module_expr prefix id inner
+        | Typedtree.Tmod_ident (p, _) -> (
+            match (id, canon p) with
+            | Some id, Some target ->
+                bind id target;
+                aliases := (prefix ^ "." ^ Ident.name id, target) :: !aliases
+            | _ -> ())
+        | Typedtree.Tmod_structure sub ->
+            let sub_prefix =
+              match id with
+              | Some id ->
+                  let sp = prefix ^ "." ^ Ident.name id in
+                  bind id sp;
+                  sp
+              | None -> prefix
+            in
+            walk_items sub_prefix sub.Typedtree.str_items
+        | _ -> ()
+      and cell_of_binding (vb : Typedtree.value_binding) =
+        match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+        | Typedtree.Texp_apply (fn, _) -> (
+            match fn.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> (
+                match Option.map strip_stdlib (canon p) with
+                | Some "Mutex.create" -> Some `Mutex
+                | Some ctor ->
+                    Option.map (fun k -> `Cell k) (cell_ctor ctor)
+                | None -> None)
+            | _ -> None)
+        | _ -> None
+      in
+      walk_items unit_name st.Typedtree.str_items;
+      (match !init_acc with
+      | Some acc ->
+          defs :=
+            {
+              name = init_name;
+              display = display_name init_name;
+              file;
+              dloc = Location.in_file file;
+              refs = List.rev acc.a_refs;
+              mutations = List.rev acc.a_mutations;
+              protects = List.rev acc.a_protects;
+              pool_entry = false;
+            }
+            :: !defs
+      | None -> ());
+      {
+        unit_name;
+        unit_file = u.Cmt_loader.source;
+        defs = List.rev !defs;
+        cells = List.rev !cells;
+        mutexes = List.rev !mutexes;
+        aliases = List.rev !aliases;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* the global graph                                                    *)
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  def_order : string list;  (** sorted canonical names *)
+  cells : (string, cell) Hashtbl.t;
+  mutex_locs : (string, Location.t) Hashtbl.t;
+  entries : (string, unit) Hashtbl.t;
+}
+
+let builtin_entries = [ "Domain.spawn" ]
+
+(* Rewrite the longest known alias prefix of a dotted name, repeatedly:
+   [Faulty_search.Params.make] -> [Search_bounds.Params.make] ->
+   [Search_bounds__Params.make]. *)
+let resolve_with aliases name =
+  (* candidate prefix lengths of [name]: the whole of it, then every
+     dot position, longest first *)
+  let prefix_lengths name =
+    let rec dots n acc =
+      match String.rindex_opt (String.sub name 0 n) '.' with
+      | Some i when i > 0 -> dots i (i :: acc)
+      | _ -> acc
+    in
+    String.length name :: List.rev (dots (String.length name) [])
+  in
+  let rec go name fuel =
+    if fuel = 0 then name
+    else
+      let hit =
+        List.find_map
+          (fun n ->
+            let p = String.sub name 0 n in
+            match Hashtbl.find_opt aliases p with
+            | Some target when not (String.equal target p) ->
+                Some (target ^ String.sub name n (String.length name - n))
+            | _ -> None)
+          (prefix_lengths name)
+      in
+      match hit with None -> name | Some name' -> go name' (fuel - 1)
+  in
+  go name 16
+
+let build summaries =
+  let aliases = Hashtbl.create 256 in
+  List.iter
+    (fun (s : summary) ->
+      List.iter
+        (fun (k, v) ->
+          if not (Hashtbl.mem aliases k) then Hashtbl.add aliases k v)
+        s.aliases)
+    summaries;
+  let resolve = resolve_with aliases in
+  let defs = Hashtbl.create 1024 in
+  let cells = Hashtbl.create 64 in
+  let mutex_locs = Hashtbl.create 16 in
+  let entries = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace entries e ()) builtin_entries;
+  List.iter
+    (fun (s : summary) ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem cells c.cell_name) then
+            Hashtbl.add cells c.cell_name c)
+        s.cells;
+      List.iter
+        (fun (m, loc) ->
+          if not (Hashtbl.mem mutex_locs m) then Hashtbl.add mutex_locs m loc)
+        s.mutexes;
+      List.iter
+        (fun d ->
+          let d =
+            {
+              d with
+              refs =
+                List.map
+                  (fun r -> { r with target = resolve r.target;
+                              rheld = List.map resolve r.rheld })
+                  d.refs;
+              mutations =
+                List.map
+                  (fun m -> { m with cell = resolve m.cell;
+                              mheld = List.map resolve m.mheld })
+                  d.mutations;
+              protects =
+                List.map
+                  (fun p -> { p with lock = resolve p.lock;
+                              outer = List.map resolve p.outer })
+                  d.protects;
+            }
+          in
+          if not (Hashtbl.mem defs d.name) then Hashtbl.add defs d.name d;
+          if d.pool_entry then Hashtbl.replace entries d.name ())
+        s.defs)
+    summaries;
+  let def_order =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) defs [])
+  in
+  { defs; def_order; cells; mutex_locs; entries }
+
+let find_def t name = Hashtbl.find_opt t.defs name
+let is_entry t name = Hashtbl.mem t.entries name || Hashtbl.mem t.entries (strip_stdlib name)
+let find_cell t name = Hashtbl.find_opt t.cells name
+let mutex_defined t name = Hashtbl.mem t.mutex_locs name

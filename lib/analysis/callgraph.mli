@@ -1,0 +1,86 @@
+(** Def/use extraction over the Typedtree and the global call graph.
+
+    Entities are canonical dotted names rooted at the compilation unit
+    ([Search_exec__Pool.async]); {!build} resolves references through
+    both local [module X = ...] aliases and the library wrapper
+    modules, so a call spelled [Pool.async] anywhere in the tree lands
+    on the def's own name.  References below top-level granularity
+    (locals, arguments) drop out by construction. *)
+
+type reference = {
+  target : string;
+  rloc : Location.t;
+  rheld : string list;  (** top-level mutexes held at the use site *)
+}
+
+type mutation = {
+  cell : string;
+  via : string;  (** the mutator applied, e.g. [":="] or ["Hashtbl.replace"] *)
+  mloc : Location.t;
+  mheld : string list;
+}
+
+type protect_event = {
+  lock : string;
+  ploc : Location.t;
+  outer : string list;  (** locks already held when this one is taken *)
+}
+
+type cell_kind = Ref | Table | Container | Atomic
+
+type cell = {
+  cell_name : string;
+  kind : cell_kind;
+  cell_file : string;
+  cell_loc : Location.t;
+}
+
+type def = {
+  name : string;
+  display : string;  (** human form, wrapper mangling stripped *)
+  file : string;
+  dloc : Location.t;
+  refs : reference list;
+  mutations : mutation list;
+  protects : protect_event list;
+  pool_entry : bool;  (** carries [[@pool_entry]] *)
+}
+
+type summary = {
+  unit_name : string;
+  unit_file : string option;
+  defs : def list;
+  cells : cell list;
+  mutexes : (string * Location.t) list;
+  aliases : (string * string) list;
+}
+
+val summarize : Cmt_loader.unit_info -> summary
+(** Pure per-unit extraction; safe to run in parallel over units. *)
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  def_order : string list;  (** sorted canonical names *)
+  cells : (string, cell) Hashtbl.t;
+  mutex_locs : (string, Location.t) Hashtbl.t;
+  entries : (string, unit) Hashtbl.t;
+}
+
+val build : summary list -> t
+(** Merge summaries and resolve every reference, mutation, lock and
+    held-set name through the global alias table (longest prefix first,
+    iterated).  First unit wins on duplicate names. *)
+
+val display_name : string -> string
+(** [display_name "Search_exec__Pool.async" = "Pool.async"]. *)
+
+val strip_stdlib : string -> string
+(** Drop one leading ["Stdlib."], if present. *)
+
+val find_def : t -> string -> def option
+val find_cell : t -> string -> cell option
+val is_entry : t -> string -> bool
+(** Whether [name] submits work to the pool: an [[@pool_entry]] def or
+    [Domain.spawn] itself. *)
+
+val mutex_defined : t -> string -> bool

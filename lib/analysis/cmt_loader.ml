@@ -1,0 +1,101 @@
+(* Discovery and loading of the .cmt artefacts dune emits (-bin-annot
+   is on by default).  The deep passes work on the Typedtree because it
+   is the only representation where names are *resolved*: a call written
+   [Pool.async] in one module and [Search_exec.Pool.async] in another is
+   the same [Path.t], module aliases are explicit [Tstr_module] items,
+   and locations still point into the original source.  The Parsetree
+   (which the syntactic pass uses) cannot support an interprocedural
+   analysis: it sees spellings, not entities.
+
+   Discovery order is sorted, like [Source.discover], so every later
+   stage that folds over units does so in a deterministic order
+   regardless of the worker-pool size. *)
+
+type unit_info = {
+  cmt_path : string;  (** relative to the build dir *)
+  modname : string;  (** compilation-unit name, e.g. ["Search_exec__Pool"] *)
+  source : string option;
+      (** repo-relative source recorded at compile time, when any *)
+  structure : Typedtree.structure option;
+      (** [None] for interfaces, packs and partial implementations *)
+}
+
+(* Where the artefacts live.  Run from a checkout the cmts are under
+   [_build/default]; run from inside the build tree (the [@lint] dune
+   alias executes with the context root as cwd) they sit next to the
+   copied sources. *)
+let build_dir ~root =
+  let candidate = Filename.concat root (Filename.concat "_build" "default") in
+  if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+  else root
+
+let is_cmt name = Filename.check_suffix name ".cmt"
+
+let discover ~build_dir ~dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat build_dir rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false -> if is_cmt rel then acc := rel :: !acc
+    | true ->
+        (* unlike [Source.discover], dot-directories are NOT skipped:
+           dune keeps objects under [.objs]/[.eobjs] *)
+        Array.iter
+          (fun entry -> walk (rel ^ "/" ^ entry))
+          (let entries = Sys.readdir abs in
+           Array.sort String.compare entries;
+           entries)
+  in
+  List.iter
+    (fun dir ->
+      if Sys.file_exists (Filename.concat build_dir dir) then walk dir)
+    dirs;
+  List.sort String.compare !acc
+
+(* [Cmt_format.read_cmt] funnels through compiler-libs unmarshalling
+   helpers whose domain-safety nobody guarantees; loads are serialised
+   under one mutex, exactly like [Source]'s parse.  The pure summary
+   extraction downstream runs in parallel. *)
+let read_mutex = Mutex.create ()
+
+let load ~build_dir cmt_path =
+  let abs = Filename.concat build_dir cmt_path in
+  match Mutex.protect read_mutex (fun () -> Cmt_format.read_cmt abs) with
+  | exception e ->
+      Error
+        (Finding.v ~rule:"cmt-load" ~severity:Finding.Error ~file:cmt_path
+           ~loc:(Location.in_file cmt_path)
+           ~suggestion:"rebuild with `dune build @all` and rerun"
+           (Printf.sprintf "cannot load cmt artefact: %s"
+              (Printexc.to_string e)))
+  | cmt ->
+      let structure =
+        match cmt.Cmt_format.cmt_annots with
+        | Cmt_format.Implementation st -> Some st
+        | Cmt_format.Interface _ | Cmt_format.Packed _
+        | Cmt_format.Partial_implementation _
+        | Cmt_format.Partial_interface _ ->
+            None
+      in
+      Ok
+        {
+          cmt_path;
+          modname = cmt.Cmt_format.cmt_modname;
+          source = cmt.Cmt_format.cmt_sourcefile;
+          structure;
+        }
+
+(* One unit per compilation-unit name: dune may leave both fresh and
+   stale spellings around (e.g. a shared test [dune__exe] wrapper); the
+   sorted first occurrence wins, deterministically. *)
+let dedup units =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun u ->
+      if Hashtbl.mem seen u.modname then false
+      else begin
+        Hashtbl.add seen u.modname ();
+        true
+      end)
+    units

@@ -1,0 +1,33 @@
+(** Discovery and loading of the [.cmt] typed artefacts dune emits.
+
+    The deep analyses ({!Taint}, {!Lockset}) need resolved names —
+    which entity a spelling refers to after module aliases, [open]s and
+    the library wrapper module — so they consume the Typedtree stored
+    in [.cmt] files rather than re-parsing sources.  Locations inside
+    still point at the original repo-relative source files, so findings
+    carry the same [file:line] coordinates as the syntactic pass. *)
+
+type unit_info = {
+  cmt_path : string;  (** relative to the build dir *)
+  modname : string;  (** compilation-unit name, e.g. ["Search_exec__Pool"] *)
+  source : string option;
+      (** repo-relative source recorded at compile time, when any *)
+  structure : Typedtree.structure option;
+      (** [None] for interfaces, packs and partial implementations *)
+}
+
+val build_dir : root:string -> string
+(** [_build/default] under [root] when present (a checkout), otherwise
+    [root] itself (already inside a build context, as under the
+    [@lint] alias). *)
+
+val discover : build_dir:string -> dirs:string list -> string list
+(** All [.cmt] paths under [dirs], sorted; relative to [build_dir]. *)
+
+val load : build_dir:string -> string -> (unit_info, Finding.t) result
+(** Load one artefact.  Serialised internally (compiler-libs
+    unmarshalling is not known to be domain-safe); failures become a
+    [cmt-load] finding, which the driver classifies as internal. *)
+
+val dedup : unit_info list -> unit_info list
+(** Keep the first unit per compilation-unit name (input order). *)

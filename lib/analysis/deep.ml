@@ -1,0 +1,29 @@
+(* The deep (typed, interprocedural) analysis family: load cmt
+   artefacts, extract per-unit summaries in parallel, build the global
+   call graph, run {!Taint} and {!Lockset}.
+
+   The same determinism contract as the syntactic pass: discovery is
+   sorted, loads are serialised (compiler-libs unmarshalling), the
+   parallel summary extraction is order-preserving and touches only
+   immutable Typedtree fields, and the global passes fold over sorted
+   names — so the findings are byte-identical at any pool size. *)
+
+module Par = Search_exec.Par
+
+let collect ~pool ~audited ~dirs ~root =
+  let build_dir = Cmt_loader.build_dir ~root in
+  let paths = Cmt_loader.discover ~build_dir ~dirs in
+  let loaded = Par.parallel_map pool paths ~f:(Cmt_loader.load ~build_dir) in
+  let load_findings =
+    List.filter_map (function Error f -> Some f | Ok _ -> None) loaded
+  in
+  let units =
+    Cmt_loader.dedup
+      (List.filter_map (function Ok u -> Some u | Error _ -> None) loaded)
+  in
+  let summaries = Par.parallel_map pool units ~f:Callgraph.summarize in
+  let graph = Callgraph.build summaries in
+  let findings =
+    load_findings @ Taint.findings ~audited graph @ Lockset.findings graph
+  in
+  (findings, List.length units)

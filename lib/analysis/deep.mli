@@ -1,0 +1,16 @@
+(** Orchestration of the typed, interprocedural analysis family
+    ({!Cmt_loader} → {!Callgraph} → {!Taint} + {!Lockset}). *)
+
+val collect :
+  pool:Search_exec.Pool.t ->
+  audited:(string -> bool) ->
+  dirs:string list ->
+  root:string ->
+  (Finding.t list * int)
+(** Analyse every [.cmt] under the build dir for [root] restricted to
+    [dirs]; [audited file] is the taint-barrier predicate (the
+    [deep-nondet] allowlist).  Returns unsorted findings — including
+    [cmt-load] failures, which the exit-code contract treats as
+    internal errors — and the number of units analysed (0 means dune
+    has not built the tree).  Byte-identical results at any pool
+    size. *)

@@ -7,7 +7,18 @@ type outcome = {
   findings : Finding.t list;
   suppressed : int;
   files : int;
+  units : int;
+  stale : (string * string * int) list;
 }
+
+(* Rules that only fire under --deep: their allowlist entries are out
+   of scope for staleness when the deep pass did not run. *)
+let deep_rule_ids = [ "deep-nondet"; "deep-race"; "deep-lock-order"; "cmt-load" ]
+
+(* Findings that mean the analysis itself could not do its job; the
+   exit-code contract reports them as internal (3), not as lint
+   verdicts (1). *)
+let internal_rule_ids = [ "parse"; "cmt-load" ]
 
 let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
 
@@ -37,7 +48,8 @@ let lint_string ?rules ?(has_mli = true) ~path contents =
   | Error finding -> [ finding ]
   | Ok src -> List.sort_uniq Finding.compare (check_source ?rules ~has_mli src)
 
-let run ?jobs ?rules ?(dirs = default_dirs) ?(allow = Allow.empty) ~root () =
+let run ?jobs ?rules ?(deep = false) ?(dirs = default_dirs)
+    ?(allow = Allow.empty) ~root () =
   validate_rules rules;
   let paths = Source.discover ~root ~dirs in
   let mli_present =
@@ -53,32 +65,75 @@ let run ?jobs ?rules ?(dirs = default_dirs) ?(allow = Allow.empty) ~root () =
     | Error finding -> [ finding ]
     | Ok src -> check_source ?rules ~has_mli src
   in
-  let per_file =
-    Pool.with_pool ?jobs @@ fun pool -> Par.parallel_map pool paths ~f:check
+  let per_file, deep_findings, units =
+    Pool.with_pool ?jobs @@ fun pool ->
+    let per_file = Par.parallel_map pool paths ~f:check in
+    if deep then
+      let audited file = Allow.permits allow ~rule:"deep-nondet" ~file in
+      let dfs, units = Deep.collect ~pool ~audited ~dirs ~root in
+      (per_file, dfs, units)
+    else (per_file, [], 0)
   in
-  let all = List.sort_uniq Finding.compare (List.concat per_file) in
+  let all =
+    List.sort_uniq Finding.compare (deep_findings @ List.concat per_file)
+  in
   let kept, dropped =
     List.partition
       (fun f ->
         not (Allow.permits allow ~rule:f.Finding.rule ~file:f.Finding.file))
       all
   in
-  { findings = kept; suppressed = List.length dropped; files = List.length paths }
+  (* an allowlist entry is stale when its rule was in scope for this
+     run and it matched no finding (kept or suppressed) *)
+  let stale =
+    List.filter
+      (fun (rule, path, _line) ->
+        ((not (List.mem rule deep_rule_ids)) || deep)
+        && not
+             (List.exists
+                (fun f ->
+                  (String.equal rule "*" || String.equal rule f.Finding.rule)
+                  && String.equal path f.Finding.file)
+                all))
+      (Allow.entries_located allow)
+  in
+  {
+    findings = kept;
+    suppressed = List.length dropped;
+    files = List.length paths;
+    units;
+    stale;
+  }
+
+let exit_code ?(strict = false) o =
+  if
+    List.exists
+      (fun f -> List.mem f.Finding.rule internal_rule_ids)
+      o.findings
+  then 3
+  else if o.findings <> [] then 1
+  else if strict && o.stale <> [] then 1
+  else 0
 
 let summary o =
   let errors, warnings =
     List.partition (fun f -> f.Finding.severity = Finding.Error) o.findings
   in
   Printf.sprintf
-    "%d finding%s (%d error%s, %d warning%s) in %d files; %d suppressed by \
-     lint.allow"
+    "%d finding%s (%d error%s, %d warning%s) in %d files%s; %d suppressed \
+     by lint.allow%s"
     (List.length o.findings)
     (if List.length o.findings = 1 then "" else "s")
     (List.length errors)
     (if List.length errors = 1 then "" else "s")
     (List.length warnings)
     (if List.length warnings = 1 then "" else "s")
-    o.files o.suppressed
+    o.files
+    (if o.units > 0 then Printf.sprintf " + %d compiled units" o.units else "")
+    o.suppressed
+    (match List.length o.stale with
+    | 0 -> ""
+    | n -> Printf.sprintf "; %d stale allow entr%s" n (if n = 1 then "y" else "ies"))
 
 let render_text o =
   let buf = Buffer.create 1024 in
@@ -107,6 +162,13 @@ let render_text o =
             ])
         findings;
       Buffer.add_string buf (Table.render tbl));
+  List.iter
+    (fun (rule, path, line) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "stale allow entry (lint.allow:%d): '%s %s' matches no finding\n"
+           line rule path))
+    o.stale;
   Buffer.add_string buf (summary o);
   Buffer.add_char buf '\n';
   Buffer.contents buf
@@ -116,7 +178,64 @@ let render_json o =
     (Json.Assoc
        [
          ("files", Json.Number (float_of_int o.files));
+         ("units", Json.Number (float_of_int o.units));
          ("suppressed", Json.Number (float_of_int o.suppressed));
          ("findings", Json.List (List.map Finding.to_json o.findings));
+         ( "stale",
+           Json.List
+             (List.map
+                (fun (rule, path, line) ->
+                  Json.Assoc
+                    [
+                      ("rule", Json.String rule);
+                      ("path", Json.String path);
+                      ("line", Json.Number (float_of_int line));
+                    ])
+                o.stale) );
        ])
   ^ "\n"
+
+(* GitHub Actions workflow-command annotations: one ::error/::warning
+   line per finding so CI findings attach to the PR diff inline.  The
+   data segment uses the documented %-escaping for newlines. *)
+let github_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_github o =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      let kind =
+        match f.Finding.severity with
+        | Finding.Error -> "error"
+        | Finding.Warning -> "warning"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "::%s file=%s,line=%d,col=%d::%s\n" kind
+           f.Finding.file f.Finding.line f.Finding.col
+           (github_escape
+              (Printf.sprintf "[%s] %s%s" f.Finding.rule f.Finding.message
+                 (match f.Finding.suggestion with
+                 | None -> ""
+                 | Some s -> " -- " ^ s)))))
+    o.findings;
+  List.iter
+    (fun (rule, path, line) ->
+      Buffer.add_string buf
+        (Printf.sprintf "::warning file=lint.allow,line=%d::%s\n" line
+           (github_escape
+              (Printf.sprintf "stale allow entry '%s %s' matches no finding"
+                 rule path))))
+    o.stale;
+  Buffer.add_string buf (summary o);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

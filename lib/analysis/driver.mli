@@ -11,6 +11,10 @@ type outcome = {
   findings : Finding.t list;  (** surviving findings, sorted *)
   suppressed : int;  (** findings removed by the allowlist *)
   files : int;  (** source files scanned *)
+  units : int;  (** compiled units analysed by the deep pass (0 = off) *)
+  stale : (string * string * int) list;
+      (** allow entries (rule, path, lint.allow line) in scope for this
+          run that matched no finding *)
 }
 
 val default_dirs : string list
@@ -22,6 +26,7 @@ val load_allow : root:string -> (Allow.t, string) result
 val run :
   ?jobs:int ->
   ?rules:string list ->
+  ?deep:bool ->
   ?dirs:string list ->
   ?allow:Allow.t ->
   root:string ->
@@ -30,8 +35,17 @@ val run :
 (** Lint every [.ml]/[.mli] under [root/dir] for [dir] in [dirs]
     (default {!default_dirs}).  [rules] restricts to the given rule
     ids ({!Rules.all} by default; unknown ids raise
-    [Invalid_argument]).  [jobs] sizes the {!Search_exec.Pool} used to
-    fan files out across domains. *)
+    [Invalid_argument]).  [deep] (default false) additionally runs the
+    typed interprocedural family ({!Deep}) over the [.cmt] artefacts
+    dune emitted for the tree.  [jobs] sizes the {!Search_exec.Pool}
+    used to fan files (and cmt units) out across domains. *)
+
+val exit_code : ?strict:bool -> outcome -> int
+(** The lint exit-code contract (same scheme as the CLI at large):
+    0 clean / 1 verified finding / 3 internal — a [parse] or
+    [cmt-load] finding means the tree itself could not be analysed.
+    With [strict], stale allowlist entries also exit 1.  (2 — usage —
+    is the argument parser's, not the driver's.) *)
 
 val lint_string :
   ?rules:string list -> ?has_mli:bool -> path:string -> string -> Finding.t list
@@ -45,5 +59,12 @@ val render_text : outcome -> string
     line. *)
 
 val render_json : outcome -> string
-(** [{"files": .., "suppressed": .., "findings": [..]}], pretty,
-    trailing newline; round-trips through {!Finding.of_json}. *)
+(** [{"files": .., "units": .., "suppressed": .., "findings": [..],
+    "stale": [..]}], pretty, trailing newline; findings round-trip
+    through {!Finding.of_json}. *)
+
+val render_github : outcome -> string
+(** GitHub Actions workflow commands: one
+    [::error file=..,line=..,col=..::[rule] message] annotation per
+    finding (stale entries as [::warning] on [lint.allow]), then the
+    summary line. *)

@@ -1,0 +1,17 @@
+(** Static race and lock-order analysis over the {!Callgraph}.
+
+    [deep-race]: a top-level mutable cell ([ref], [Hashtbl.t],
+    containers; [Atomic.t] is exempt) written anywhere and touched from
+    a pooled def — one calling a [[@pool_entry]] function or
+    [Domain.spawn], or reachable from such a def — with an empty
+    effective lockset (locks held at the site ∪ mutexes held on every
+    call path from a pooled root).  Also flags cells whose pooled
+    accesses are all guarded but share no common mutex.
+
+    [deep-lock-order]: cycles in the mutex acquisition-order graph,
+    with edges from lexical [Mutex.protect] nesting and from calls made
+    with a lock held into defs that may acquire another (self-loops
+    included: OCaml's [Mutex.t] is not re-entrant). *)
+
+val findings : Callgraph.t -> Finding.t list
+(** The driver re-sorts and dedups. *)

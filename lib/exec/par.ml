@@ -13,22 +13,22 @@ let chunked size xs =
   in
   go xs
 
-let map_plain pool ~f xs =
+let[@pool_entry] map_plain pool ~f xs =
   let promises = List.map (fun x -> Pool.async pool (fun () -> f x)) xs in
   List.map Pool.await promises
 
-let parallel_map ?(chunk = 1) pool ~f xs =
+let[@pool_entry] parallel_map ?(chunk = 1) pool ~f xs =
   if chunk = 1 then map_plain pool ~f xs
   else List.concat (map_plain pool ~f:(List.map f) (chunked chunk xs))
 
-let parallel_mapi pool ~f xs =
+let[@pool_entry] parallel_mapi pool ~f xs =
   List.mapi (fun i x -> (i, x)) xs
   |> map_plain pool ~f:(fun (i, x) -> f i x)
 
-let parallel_iter pool ~f xs = ignore (map_plain pool ~f xs : unit list)
+let[@pool_entry] parallel_iter pool ~f xs = ignore (map_plain pool ~f xs : unit list)
 
-let parallel_reduce pool ~map ~combine ~init xs =
+let[@pool_entry] parallel_reduce pool ~map ~combine ~init xs =
   List.fold_left combine init (map_plain pool ~f:map xs)
 
-let parallel_map_array pool ~f xs =
+let[@pool_entry] parallel_map_array pool ~f xs =
   Array.of_list (map_plain pool ~f (Array.to_list xs))

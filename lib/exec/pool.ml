@@ -93,7 +93,10 @@ let prune_locked t =
         t.pending
   end
 
-let async t f =
+(* [@pool_entry] marks the functions whose closure arguments may run on
+   another domain; the deep lockset lint (lib/analysis/lockset.ml)
+   treats their callers as potentially-parallel roots. *)
+let[@pool_entry] async t f =
   let p = { pool = t; result = Pending } in
   let job () =
     let r =

@@ -8,7 +8,7 @@ let prngs ~root ~n =
       spine := rest;
       leaf)
 
-let sharded_map pool ~root ~f xs =
+let[@pool_entry] sharded_map pool ~root ~f xs =
   let gs = prngs ~root ~n:(List.length xs) in
   Par.parallel_mapi pool ~f:(fun i x -> f ~prng:gs.(i) x) xs
 

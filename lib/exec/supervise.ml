@@ -36,7 +36,7 @@ let run_one spec ~task x f =
           let meter = Budget.start spec.budget ~task in
           f meter x))
 
-let map pool ?(spec = default) ?persist ~task ~f items =
+let[@pool_entry] map pool ?(spec = default) ?persist ~task ~f items =
   let cached key =
     match persist with
     | None -> None

@@ -1,0 +1,332 @@
+(* Tests for the typed, interprocedural analysis family: fixture trees
+   compiled with ocamlc -bin-annot (so the cmt artefacts look exactly
+   like dune's, with repo-relative source paths), driven through
+   [Deep.collect] and [Driver.run ~deep:true].
+
+   Covers the three advertised detectors — transitive nondeterminism
+   taint with its source→sink chain, an unguarded shared ref captured
+   by a pool-entry closure, and a two-mutex acquisition-order cycle —
+   plus the audited-sink barrier, stale-allowlist detection, the lint
+   exit-code contract and the GitHub annotation emitter. *)
+
+module Finding = Search_analysis.Finding
+module Allow = Search_analysis.Allow
+module Driver = Search_analysis.Driver
+module Callgraph = Search_analysis.Callgraph
+module Deep = Search_analysis.Deep
+module Pool = Search_exec.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let make_tree files =
+  let root = Filename.temp_file "faulty_search_deep" ".d" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  List.iter
+    (fun (name, contents) -> write_file (Filename.concat root name) contents)
+    files;
+  root
+
+(* Compile fixtures from the tree root so cmt_sourcefile comes out
+   repo-relative ("lib/a.ml"), the way dune records it. *)
+let compile root files =
+  Sys.command
+    (Printf.sprintf "cd %s && ocamlc -bin-annot -c -I lib %s >/dev/null 2>&1"
+       (Filename.quote root)
+       (String.concat " " files))
+  = 0
+
+let have_ocamlc =
+  lazy (Sys.command "ocamlc -version >/dev/null 2>&1" = 0)
+
+(* The toolchain container always has ocamlc; degrade to a vacuous pass
+   elsewhere rather than failing the suite over infrastructure. *)
+let with_ocamlc k = if Lazy.force have_ocamlc then k () else ()
+
+let collect ?(audited = fun _ -> false) root =
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  Deep.collect ~pool ~audited ~dirs:[ "lib" ] ~root
+
+let by_rule rule findings =
+  List.filter (fun f -> String.equal f.Finding.rule rule) findings
+
+let taint_tree () =
+  make_tree
+    [
+      ( "lib/a.ml",
+        "let noise () = Random.int 10\n\
+         let w1 () = noise () + 1\n\
+         let w2 () = w1 () * 2\n" );
+      ("lib/uses.ml", "let call () = A.w2 ()\n");
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let test_taint_chain () =
+  with_ocamlc @@ fun () ->
+  let root = taint_tree () in
+  check_bool "fixtures compile" true
+    (compile root [ "lib/a.ml"; "lib/uses.ml" ]);
+  let findings, units = collect root in
+  check_int "two units" 2 units;
+  let taint = by_rule "deep-nondet" findings in
+  (* noise, w1, w2 and the cross-module caller *)
+  check_int "four tainted defs" 4 (List.length taint);
+  match
+    List.find_opt
+      (fun f ->
+        String.equal f.Finding.file "lib/a.ml" && f.Finding.line = 3)
+      taint
+  with
+  | None -> Alcotest.fail "no finding at the w2 call site (lib/a.ml:3)"
+  | Some f ->
+      check_bool "full source->sink chain" true
+        (let contains s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s
+             && (String.equal (String.sub s i n) sub || go (i + 1))
+           in
+           go 0
+         in
+         contains f.Finding.message "A.w2 -> A.w1 -> A.noise -> Random.int")
+
+let test_taint_barrier () =
+  with_ocamlc @@ fun () ->
+  let root = taint_tree () in
+  check_bool "fixtures compile" true
+    (compile root [ "lib/a.ml"; "lib/uses.ml" ]);
+  (* auditing lib/a.ml stops propagation at its boundary (including
+     between its own defs) but still reports the defs that touch a
+     source directly, so the allow entry suppressing them registers as
+     used rather than stale *)
+  let findings, _ =
+    collect ~audited:(fun file -> String.equal file "lib/a.ml") root
+  in
+  let taint = by_rule "deep-nondet" findings in
+  check_int "only the direct source toucher" 1 (List.length taint);
+  check_string "and it is in the audited file" "lib/a.ml"
+    (List.hd taint).Finding.file
+
+let test_race () =
+  with_ocamlc @@ fun () ->
+  let root =
+    make_tree
+      [
+        ( "lib/b.ml",
+          "let[@pool_entry] submit f = f ()\n\
+           let leak = ref 0\n\
+           let guard = Mutex.create ()\n\
+           let leak2 = ref 0\n\
+           let bad () = submit (fun () -> leak := !leak + 1)\n\
+           let ok () =\n\
+          \  submit (fun () -> Mutex.protect guard (fun () -> leak2 := !leak2 + 1))\n\
+           let ok2 () =\n\
+          \  submit (fun () -> Mutex.protect guard @@ fun () -> leak2 := !leak2 + 1)\n" );
+      ]
+  in
+  check_bool "fixture compiles" true (compile root [ "lib/b.ml" ]);
+  let findings, _ = collect root in
+  let races = by_rule "deep-race" findings in
+  check_int "exactly the unguarded cell" 1 (List.length races);
+  let f = List.hd races in
+  check_string "at the mutation site" "lib/b.ml" f.Finding.file;
+  check_int "line of leak := ..." 5 f.Finding.line;
+  check_bool "names the cell and the job chain" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s
+         && (String.equal (String.sub s i n) sub || go (i + 1))
+       in
+       go 0
+     in
+     contains f.Finding.message "B.leak"
+     && contains f.Finding.message "B.bad{B.submit}")
+
+let test_lock_order () =
+  with_ocamlc @@ fun () ->
+  let root =
+    make_tree
+      [
+        ( "lib/c.ml",
+          "let ma = Mutex.create ()\n\
+           let mb = Mutex.create ()\n\
+           let f1 () = Mutex.protect ma (fun () -> Mutex.protect mb (fun () -> ()))\n\
+           let f2 () = Mutex.protect mb (fun () -> Mutex.protect ma (fun () -> ()))\n" );
+      ]
+  in
+  check_bool "fixture compiles" true (compile root [ "lib/c.ml" ]);
+  let findings, _ = collect root in
+  let cycles = by_rule "deep-lock-order" findings in
+  check_int "one cycle, reported once" 1 (List.length cycles);
+  let f = List.hd cycles in
+  check_string "witnessed in c.ml" "lib/c.ml" f.Finding.file;
+  check_int "at the inner protect of f1" 3 f.Finding.line;
+  check_bool "names both mutexes" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s
+         && (String.equal (String.sub s i n) sub || go (i + 1))
+       in
+       go 0
+     in
+     contains f.Finding.message "C.ma" && contains f.Finding.message "C.mb")
+
+let test_deep_jobs_invariance () =
+  with_ocamlc @@ fun () ->
+  let root = taint_tree () in
+  check_bool "fixtures compile" true
+    (compile root [ "lib/a.ml"; "lib/uses.ml" ]);
+  let o1 = Driver.run ~jobs:1 ~deep:true ~root () in
+  let o4 = Driver.run ~jobs:4 ~deep:true ~root () in
+  check_bool "deep pass ran" true (o1.Driver.units = 2);
+  check_bool "found the planted taint" true
+    (by_rule "deep-nondet" o1.Driver.findings <> []);
+  check_string "text report byte-identical" (Driver.render_text o1)
+    (Driver.render_text o4);
+  check_string "json report byte-identical" (Driver.render_json o1)
+    (Driver.render_json o4);
+  check_string "github report byte-identical" (Driver.render_github o1)
+    (Driver.render_github o4)
+
+(* ------------------------------------------------------------------ *)
+
+let test_entries_located () =
+  match Allow.parse "a b\n\n# comment\nd e  # trailing\n" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok allow ->
+      Alcotest.(check (list (triple string string int)))
+        "line numbers recorded"
+        [ ("a", "b", 1); ("d", "e", 4) ]
+        (Allow.entries_located allow)
+
+let test_stale_detection () =
+  let root =
+    make_tree
+      [
+        ("lib/x.ml", "let t () = Sys.time ()\n");
+        ("lib/x.mli", "val t : unit -> float\n");
+      ]
+  in
+  let allow =
+    match
+      Allow.parse
+        "nondet lib/x.ml\nnondet lib/unused.ml\ndeep-race lib/unused.ml\n"
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let shallow = Driver.run ~jobs:1 ~allow ~root () in
+  check_int "no surviving findings" 0 (List.length shallow.Driver.findings);
+  (* the deep-race entry is out of scope without --deep; only the
+     unmatched syntactic entry is stale *)
+  Alcotest.(check (list (triple string string int)))
+    "shallow stale set"
+    [ ("nondet", "lib/unused.ml", 2) ]
+    shallow.Driver.stale;
+  let deep = Driver.run ~jobs:1 ~deep:true ~allow ~root () in
+  Alcotest.(check (list (triple string string int)))
+    "deep brings deep rules into scope"
+    [ ("nondet", "lib/unused.ml", 2); ("deep-race", "lib/unused.ml", 3) ]
+    deep.Driver.stale;
+  check_int "clean tree + stale, default" 0 (Driver.exit_code shallow);
+  check_int "clean tree + stale, strict" 1
+    (Driver.exit_code ~strict:true shallow)
+
+let test_exit_codes () =
+  let parse_root = make_tree [ ("lib/broken.ml", "let = (\n") ] in
+  let parse_out = Driver.run ~jobs:1 ~root:parse_root () in
+  check_int "syntax error is internal" 3 (Driver.exit_code parse_out);
+  (* a corrupt cmt artefact is likewise internal, not a lint verdict *)
+  let cmt_root = make_tree [ ("lib/garbage.cmt", "not a cmt\n") ] in
+  let cmt_out = Driver.run ~jobs:1 ~deep:true ~root:cmt_root () in
+  check_bool "cmt-load finding surfaced" true
+    (by_rule "cmt-load" cmt_out.Driver.findings <> []);
+  check_int "corrupt artefact is internal" 3 (Driver.exit_code cmt_out);
+  let clean_root =
+    make_tree
+      [
+        ("lib/y.ml", "let add a b = a + b\n");
+        ("lib/y.mli", "val add : int -> int -> int\n");
+      ]
+  in
+  let clean = Driver.run ~jobs:1 ~root:clean_root () in
+  check_int "clean is zero" 0 (Driver.exit_code ~strict:true clean);
+  let finding_out = Driver.run ~jobs:1 ~root:(taint_tree ()) () in
+  check_int "ordinary finding is one" 1 (Driver.exit_code finding_out)
+
+let test_github_render () =
+  let o =
+    {
+      Driver.findings =
+        [
+          Finding.v ~rule:"demo" ~severity:Finding.Error ~file:"lib/x.ml"
+            ~loc:Location.none "50% bad\nsecond line";
+        ];
+      suppressed = 0;
+      files = 1;
+      units = 0;
+      stale = [ ("nondet", "lib/unused.ml", 7) ];
+    }
+  in
+  let out = Driver.render_github o in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s
+      && (String.equal (String.sub s i n) sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "error annotation" true (contains out "::error file=lib/x.ml,line=");
+  check_bool "percent escaped" true (contains out "50%25 bad");
+  check_bool "newline escaped" true (contains out "%0Asecond line");
+  check_bool "stale entry as warning on lint.allow" true
+    (contains out "::warning file=lint.allow,line=7");
+  check_bool "rule tag present" true (contains out "[demo]")
+
+let test_display_name () =
+  check_string "wrapper mangling stripped" "Supervise.map"
+    (Callgraph.display_name "Search_exec__Supervise.map");
+  check_string "plain unit kept" "A.w2" (Callgraph.display_name "A.w2");
+  check_string "nested path" "Search_cli.(init)"
+    (Callgraph.display_name "Dune__exe__Search_cli.(init)")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "deep"
+    [
+      ( "graph",
+        [ Alcotest.test_case "display names" `Quick test_display_name ] );
+      ( "taint",
+        [
+          Alcotest.test_case "transitive chain" `Quick test_taint_chain;
+          Alcotest.test_case "audited barrier" `Quick test_taint_barrier;
+        ] );
+      ( "lockset",
+        [
+          Alcotest.test_case "unguarded pooled ref" `Quick test_race;
+          Alcotest.test_case "two-mutex cycle" `Quick test_lock_order;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "deep jobs invariance" `Quick
+            test_deep_jobs_invariance;
+          Alcotest.test_case "allow entries located" `Quick
+            test_entries_located;
+          Alcotest.test_case "stale allowlist" `Quick test_stale_detection;
+          Alcotest.test_case "exit-code contract" `Quick test_exit_codes;
+          Alcotest.test_case "github annotations" `Quick test_github_render;
+        ] );
+    ]
