@@ -827,6 +827,86 @@ let lint_cmd =
       $ strict_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(
+    value
+    & opt string "/tmp/faulty-search.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Pending-request bound.  Requests arriving while the queue holds \
+     $(docv) entries are answered with an explicit 'overloaded' response \
+     instead of queueing without limit."
+  in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let batch_cap_arg =
+  let doc = "Maximum requests dispatched onto the pool per cycle." in
+  Arg.(value & opt int 32 & info [ "batch-cap" ] ~docv:"N" ~doc)
+
+let cache_cap_arg =
+  let doc =
+    "Entry bound of the shared bound cache (LRU eviction beyond it; \
+     hit/miss/eviction counters via the 'stats' request)."
+  in
+  Arg.(value & opt int 256 & info [ "cache-cap" ] ~docv:"N" ~doc)
+
+let serve_run socket jobs queue_cap batch_cap cache_cap chaos_seed retries =
+  if not (check_jobs jobs) then exit_usage
+  else if queue_cap < 1 || batch_cap < 1 || cache_cap < 1 then begin
+    Format.eprintf "serve: --queue-cap, --batch-cap and --cache-cap must be \
+                    at least 1@.";
+    exit_usage
+  end
+  else begin
+    (* SIGTERM/SIGINT flip the stop flag; the event loop polls it every
+       select timeout and tears down cleanly — socket file removed,
+       exit 0 (the contract the CI smoke job asserts) *)
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    let spec =
+      {
+        FS.Supervise.default with
+        chaos = chaos_of chaos_seed;
+        retry = retry_of retries;
+      }
+    in
+    FS.Pool.with_pool ?jobs @@ fun pool ->
+    let dispatch =
+      Search_serve.Dispatch.create ~pool ~cache_capacity:cache_cap ~spec ()
+    in
+    let config =
+      Search_serve.Server.config ~queue_cap ~batch_cap
+        ~log:(fun msg -> Format.printf "serve: %s@." msg)
+        ~socket_path:socket ()
+    in
+    match Search_serve.Server.run config ~dispatch ~stop with
+    | () -> exit_ok
+    | exception FS.Search_error.Error err ->
+        Format.eprintf "serve: %a@." FS.Search_error.pp err;
+        exit_internal
+  end
+
+let serve_cmd =
+  let doc =
+    "Long-lived daemon: bound queries, certificates, sweeps and \
+     Monte-Carlo simulations over a Unix-domain socket (length-prefixed \
+     JSON; see DESIGN.md for the wire protocol).  Requests batch onto \
+     the domain pool; responses are byte-identical at any $(b,--jobs)."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ socket_arg $ jobs_arg $ queue_cap_arg $ batch_cap_arg
+      $ cache_cap_arg $ chaos_seed_arg $ retries_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "parallel search on m rays with faulty robots (PODC 2018)" in
@@ -835,7 +915,7 @@ let main_cmd =
     [
       bounds_cmd; simulate_cmd; certify_cmd; recheck_cmd; sweep_cmd; trace_cmd;
       phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd; fuzz_cmd;
-      lint_cmd;
+      lint_cmd; serve_cmd;
     ]
 
 (* Map cmdliner's evaluation onto the exit-code contract in the header:

@@ -30,3 +30,46 @@ val stats : ('k, 'v) t -> stats
 
 val clear : ('k, 'v) t -> unit
 (** Drop all entries (statistics included). *)
+
+(** {1 Size-bounded variant}
+
+    The unbounded cache above is right for bench tables — a known, small
+    key universe evaluated once per run.  A long-lived server answering
+    arbitrary client queries must not grow without bound, so {!Lru} caps
+    the entry count and evicts the least-recently-used key; its counters
+    (including evictions) feed the daemon's [stats] response.  Same
+    locking discipline as the unbounded cache: structural operations are
+    atomic, the compute runs outside the lock, concurrent duplicate
+    computes of a pure function are harmless. *)
+module Lru : sig
+  type ('k, 'v) t
+
+  val create : capacity:int -> unit -> ('k, 'v) t
+  (** At most [capacity] entries are retained.
+      @raise Search_numerics.Search_error.Error when [capacity < 1]. *)
+
+  val capacity : ('k, 'v) t -> int
+
+  val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** Cached value for the key, computing and caching it on a miss — a
+      hit refreshes the key's recency; an insert over capacity evicts
+      the least-recently-used entry. *)
+
+  val memoize : ('k, 'v) t -> ('k -> 'v) -> 'k -> 'v
+
+  type stats = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    entries : int;
+    capacity : int;
+  }
+
+  val stats : ('k, 'v) t -> stats
+  (** [misses] counts computes started (may exceed [entries] under
+      concurrent duplicate computes, and under eviction churn);
+      [evictions] counts entries dropped to respect [capacity]. *)
+
+  val clear : ('k, 'v) t -> unit
+  (** Drop all entries and reset every counter. *)
+end

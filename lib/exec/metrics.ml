@@ -89,3 +89,49 @@ let write t ~path =
       close_out_noerr oc;
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
+
+(* Trend file: [write] above keeps only the latest run per job count, so
+   nothing in the repo showed whether a change made the suite faster or
+   slower than last week.  The history file is append-only JSONL — one
+   self-contained line per run, never rewritten — so consecutive runs
+   stay comparable; a torn tail (a run killed mid-append) leaves at most
+   one unparsable final line, which readers skip. *)
+let append_history t ~path ~run =
+  let line =
+    Json.to_string
+      (Json.Assoc
+         [
+           ("run", Json.String run);
+           ("unix_time", Json.Number (Float.round (Unix.gettimeofday ())));
+           ("jobs", Json.Number (float_of_int t.jobs));
+           ("entries", to_json t);
+         ])
+  in
+  Mutex.protect write_mutex @@ fun () ->
+  Search_resilience.Lockfile.with_lock ~path:(path ^ ".lock") @@ fun () ->
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n')
+
+let read_history path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    List.rev !lines
+    |> List.filter_map (fun l ->
+           match Json.of_string l with Ok j -> Some j | Error _ -> None)
+  end

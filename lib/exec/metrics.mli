@@ -42,3 +42,15 @@ val write : t -> path:string -> unit
     a temp file in the same directory and renamed into place — two
     concurrent bench runs cannot clobber each other's entries or leave a
     torn file. *)
+
+val append_history : t -> path:string -> run:string -> unit
+(** Append this recorder as one line of JSONL trend history:
+    [{ "run": run, "unix_time": ..., "jobs": ..., "entries": [...] }].
+    Unlike {!write}, nothing is ever replaced — consecutive runs
+    accumulate, so the perf trajectory across commits stays visible.
+    Guarded by the same lock-file + mutex pair as {!write}. *)
+
+val read_history : string -> Search_numerics.Json.t list
+(** Parse a history file back, one {!Search_numerics.Json.t} per line,
+    oldest first; unparsable lines (e.g. a torn tail from a killed run)
+    are skipped.  A missing file is an empty history. *)

@@ -32,6 +32,8 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable pending : hidden list;
   mutable since_prune : int;
+  mutable submitted : int;
+  mutable settled : int;
   jobs : int;
 }
 
@@ -72,6 +74,8 @@ let create ?jobs () =
       workers = [];
       pending = [];
       since_prune = 0;
+      submitted = 0;
+      settled = 0;
       jobs;
     }
   in
@@ -107,7 +111,9 @@ let[@pool_entry] async t f =
     Mutex.protect t.mutex (fun () ->
         (* first writer wins: shutdown may already have failed it *)
         (match p.result with
-        | Pending -> p.result <- r
+        | Pending ->
+            p.result <- r;
+            t.settled <- t.settled + 1
         | Done _ | Failed _ -> ());
         Condition.broadcast t.wake)
   in
@@ -115,6 +121,7 @@ let[@pool_entry] async t f =
       if t.closing then
         E.raise_ (E.Pool_closed { what = "Pool.async: pool is shut down" });
       t.pending <- Hide p :: t.pending;
+      t.submitted <- t.submitted + 1;
       prune_locked t;
       Queue.push job t.queue;
       Condition.broadcast t.wake);
@@ -164,7 +171,8 @@ let shutdown t =
                       ( E.Error
                           (E.Pool_closed
                              { what = "task abandoned by Pool.shutdown" }),
-                        bt )
+                        bt );
+                  t.settled <- t.settled + 1
               | Done _ | Failed _ -> ())
             t.pending;
           t.pending <- []
@@ -176,6 +184,17 @@ let shutdown t =
     List.iter Domain.join t.workers;
     t.workers <- []
   end
+
+type stats = { jobs : int; submitted : int; settled : int; pending : int }
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        jobs = t.jobs;
+        submitted = t.submitted;
+        settled = t.settled;
+        pending = t.submitted - t.settled;
+      })
 
 let with_pool ?jobs f =
   let t = create ?jobs () in

@@ -52,5 +52,19 @@ val shutdown : t -> unit
     and waiters parked in {!await} are woken — shutdown never strands a
     waiter in [Condition.wait]. *)
 
+type stats = {
+  jobs : int;  (** pool size, counting the caller *)
+  submitted : int;  (** tasks accepted by {!async} since creation *)
+  settled : int;  (** promises resolved: completed, crashed, or failed
+                      by {!shutdown} *)
+  pending : int;  (** [submitted - settled]: queued or in flight *)
+}
+
+val stats : t -> stats
+(** A consistent snapshot of the pool's task counters — the daemon's
+    [stats] request and the load-generator report read these.  Purely
+    observational: the numbers depend on scheduling and must never gate
+    a deterministic artefact. *)
+
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] = create, run [f], always shutdown. *)

@@ -1,0 +1,26 @@
+type 'a t = { queue : 'a Queue.t; cap : int }
+
+let create ~cap () =
+  if cap < 1 then
+    Search_numerics.Search_error.invalid ~where:"Backlog.create"
+      "need cap >= 1";
+  { queue = Queue.create (); cap }
+
+let push t x =
+  if Queue.length t.queue >= t.cap then `Shed
+  else begin
+    Queue.push x t.queue;
+    `Accepted
+  end
+
+let take t ~max =
+  if max < 1 then
+    Search_numerics.Search_error.invalid ~where:"Backlog.take" "need max >= 1";
+  let rec go acc taken =
+    if taken >= max || Queue.is_empty t.queue then List.rev acc
+    else go (Queue.pop t.queue :: acc) (taken + 1)
+  in
+  go [] 0
+
+let length t = Queue.length t.queue
+let cap t = t.cap

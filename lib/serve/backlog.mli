@@ -1,0 +1,28 @@
+(** Bounded admission queue — the daemon's backpressure valve.
+
+    Parsed requests wait here between the read phase and the dispatch
+    phase of the server loop.  The bound is the admission-control
+    contract: a server that queued without limit would trade overload
+    for unbounded memory and unbounded latency; instead, a push over
+    capacity is refused and the server answers that request with an
+    explicit [Overloaded] response immediately, so clients learn to back
+    off while admitted requests keep their latency.
+
+    Single-threaded by design: only the server's event loop touches it
+    (the pool workers see requests only after {!take}). *)
+
+type 'a t
+
+val create : cap:int -> unit -> 'a t
+(** @raise Search_numerics.Search_error.Error when [cap < 1]. *)
+
+val push : 'a t -> 'a -> [ `Accepted | `Shed ]
+(** FIFO admit, unless the queue already holds [cap] items. *)
+
+val take : 'a t -> max:int -> 'a list
+(** Remove and return up to [max] items, oldest first (the next dispatch
+    batch).  Requires [max >= 1]. *)
+
+val length : 'a t -> int
+
+val cap : 'a t -> int

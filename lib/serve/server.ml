@@ -1,0 +1,214 @@
+module E = Search_numerics.Search_error
+
+type config = {
+  socket_path : string;
+  queue_cap : int;
+  batch_cap : int;
+  max_frame : int;
+  log : string -> unit;
+}
+
+let config ?(queue_cap = 64) ?(batch_cap = 32)
+    ?(max_frame = Protocol.Frame.default_max_frame) ?(log = ignore)
+    ~socket_path () =
+  if queue_cap < 1 then E.invalid ~where:"Server.config" "need queue_cap >= 1";
+  if batch_cap < 1 then E.invalid ~where:"Server.config" "need batch_cap >= 1";
+  if max_frame < 8 then E.invalid ~where:"Server.config" "need max_frame >= 8";
+  { socket_path; queue_cap; batch_cap; max_frame; log }
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Protocol.Frame.Decoder.t;
+  out : Buffer.t;  (** encoded frames awaiting the peer *)
+  mutable sent : int;  (** prefix of [out] already written *)
+  mutable inflight : int;  (** admitted requests not yet answered *)
+  mutable eof : bool;  (** peer closed its write side *)
+  mutable closing : bool;  (** framing violation: close once [out] drains *)
+  mutable dead : bool;  (** transport failed: close now *)
+}
+
+let make_conn ~max_frame fd =
+  {
+    fd;
+    decoder = Protocol.Frame.Decoder.create ~max_frame ();
+    out = Buffer.create 512;
+    sent = 0;
+    inflight = 0;
+    eof = false;
+    closing = false;
+    dead = false;
+  }
+
+let respond c ~id resp =
+  Buffer.add_string c.out (Protocol.Frame.encode (Protocol.encode_response ~id resp))
+
+let protocol_error ~where what =
+  Protocol.Failed (E.Invalid_input { where; what })
+
+(* Parse every completed frame buffered on [c]: valid requests are
+   admitted (or shed with an immediate [Overloaded]); undecodable ones
+   are answered in place with a structured error, addressed to the
+   envelope id when one survived parsing, to -1 otherwise. *)
+let drain_frames dispatch backlog c =
+  let rec go () =
+    match Protocol.Frame.Decoder.next c.decoder with
+    | `Awaiting -> ()
+    | `Corrupt msg ->
+        respond c ~id:(-1) (protocol_error ~where:"serve/frame" msg);
+        c.closing <- true
+    | `Frame payload ->
+        (match Protocol.decode_request payload with
+        | Ok (id, req) -> (
+            match Backlog.push backlog (c, id, req) with
+            | `Accepted -> c.inflight <- c.inflight + 1
+            | `Shed ->
+                Dispatch.note_shed dispatch;
+                respond c ~id
+                  (Protocol.Overloaded
+                     { pending = Backlog.length backlog; cap = Backlog.cap backlog }))
+        | Error (id_opt, msg) ->
+            let id = Option.value id_opt ~default:(-1) in
+            respond c ~id (protocol_error ~where:"serve/protocol" msg));
+        go ()
+  in
+  go ()
+
+let read_conn dispatch backlog scratch c =
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+  | 0 -> c.eof <- true
+  | n ->
+      Protocol.Frame.Decoder.feed c.decoder scratch ~off:0 ~len:n;
+      drain_frames dispatch backlog c
+
+let write_conn c =
+  let pending = Buffer.length c.out - c.sent in
+  if pending > 0 then
+    match Unix.write_substring c.fd (Buffer.contents c.out) c.sent pending with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+    | n ->
+        c.sent <- c.sent + n;
+        if c.sent >= Buffer.length c.out then begin
+          Buffer.clear c.out;
+          c.sent <- 0
+        end
+
+let bind_listener path =
+  (try if Sys.file_exists path then Unix.unlink path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    Unix.set_nonblock fd
+  with
+  | () -> fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      E.raise_
+        (E.Io_failure { path; what = "bind: " ^ Unix.error_message err })
+
+let run cfg ~dispatch ~stop =
+  let listener = bind_listener cfg.socket_path in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let backlog = Backlog.create ~cap:cfg.queue_cap () in
+  let scratch = Bytes.create 65536 in
+  (* a peer may vanish between select and write; with SIGPIPE ignored
+     that surfaces as EPIPE on the write, which we already handle *)
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept ~cloexec:true listener with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Hashtbl.replace conns fd (make_conn ~max_frame:cfg.max_frame fd);
+          go ()
+    in
+    go ()
+  in
+  let reap () =
+    let victims =
+      Hashtbl.fold
+        (fun _fd c acc ->
+          let drained = Buffer.length c.out - c.sent <= 0 in
+          if
+            c.dead
+            || (c.closing && drained)
+            || (c.eof && c.inflight <= 0 && drained)
+          then c :: acc
+          else acc)
+        conns []
+    in
+    List.iter
+      (fun c ->
+        Hashtbl.remove conns c.fd;
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      victims
+  in
+  let teardown () =
+    Hashtbl.iter
+      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    ignore (Sys.signal Sys.sigpipe prev_sigpipe)
+  in
+  cfg.log (Printf.sprintf "listening on %s" cfg.socket_path);
+  Fun.protect ~finally:teardown @@ fun () ->
+  while not (Atomic.get stop) do
+    let rds =
+      listener
+      :: Hashtbl.fold
+           (fun fd c acc -> if c.eof || c.dead then acc else fd :: acc)
+           conns []
+    in
+    let wrs =
+      Hashtbl.fold
+        (fun fd c acc ->
+          if (not c.dead) && Buffer.length c.out - c.sent > 0 then fd :: acc
+          else acc)
+        conns []
+    in
+    (* the timeout doubles as the stop-flag poll interval *)
+    match Unix.select rds wrs [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> read_conn dispatch backlog scratch c
+            | None -> accept_all ())
+          readable;
+        if Backlog.length backlog > 0 then begin
+          let batch = Backlog.take backlog ~max:cfg.batch_cap in
+          let replies = Dispatch.handle_batch dispatch batch in
+          List.iter
+            (fun (c, id, resp) ->
+              c.inflight <- c.inflight - 1;
+              if not c.dead then respond c ~id resp)
+            replies
+        end;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> write_conn c
+            | None -> ())
+          writable;
+        (* responses enqueued by this cycle's dispatch get flushed
+           eagerly rather than waiting for the next select round *)
+        Hashtbl.iter (fun _fd c -> if not c.dead then write_conn c) conns;
+        reap ()
+  done;
+  cfg.log "stop requested; shutting down"

@@ -415,6 +415,114 @@ let test_metrics_concurrent_writes () =
   | Error e -> Alcotest.fail ("torn/unparsable timings file: " ^ e)
 
 (* ------------------------------------------------------------------ *)
+(* Memo.Lru *)
+
+let test_lru_evicts_lru_entry () =
+  let cache = Memo.Lru.create ~capacity:2 () in
+  let f k = Memo.Lru.find_or_add cache k (fun () -> k * 10) in
+  check_int "a" 10 (f 1);
+  check_int "b" 20 (f 2);
+  (* touch 1 so 2 becomes the least recently used *)
+  check_int "a again (hit)" 10 (f 1);
+  check_int "c (evicts 2)" 30 (f 3);
+  check_int "a still cached" 10 (f 1);
+  (* 2 was evicted: recomputing it counts a fresh miss *)
+  check_int "b recomputed" 20 (f 2);
+  let s = Memo.Lru.stats cache in
+  check_int "entries bounded" 2 s.Memo.Lru.entries;
+  check_int "capacity" 2 s.Memo.Lru.capacity;
+  check_int "evictions" 2 s.Memo.Lru.evictions;
+  check_int "hits" 2 s.Memo.Lru.hits;
+  check_int "misses" 4 s.Memo.Lru.misses
+
+let test_lru_clear_resets () =
+  let cache = Memo.Lru.create ~capacity:4 () in
+  let f = Memo.Lru.memoize cache (fun k -> k + 1) in
+  check_int "computes" 8 (f 7);
+  check_int "hit" 8 (f 7);
+  Memo.Lru.clear cache;
+  let s = Memo.Lru.stats cache in
+  check_int "entries cleared" 0 s.Memo.Lru.entries;
+  check_int "hits reset" 0 s.Memo.Lru.hits;
+  check_int "misses reset" 0 s.Memo.Lru.misses;
+  check_int "evictions reset" 0 s.Memo.Lru.evictions
+
+let test_lru_rejects_bad_capacity () =
+  match Memo.Lru.create ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception E.Error (E.Invalid_input _) -> ()
+
+let test_lru_concurrent_consistent () =
+  (* a capacity far below the key range forces eviction churn under
+     domain contention; values must stay correct throughout *)
+  Pool.with_pool ~jobs:8 @@ fun pool ->
+  let cache = Memo.Lru.create ~capacity:3 () in
+  let f = Memo.Lru.memoize cache (fun k -> k * k) in
+  let keys = List.concat (List.init 30 (fun _ -> [ 1; 2; 3; 4; 5; 6 ])) in
+  let got = Par.parallel_map pool ~f keys in
+  List.iter2 (fun k v -> check_int "value" (k * k) v) keys got;
+  let s = Memo.Lru.stats cache in
+  check_bool "entries within capacity" true (s.Memo.Lru.entries <= 3);
+  check_bool "evictions happened" true (s.Memo.Lru.evictions > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.stats *)
+
+let test_pool_stats_counts () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let s0 = Pool.stats pool in
+  check_int "jobs" 2 s0.Pool.jobs;
+  check_int "nothing submitted" 0 s0.Pool.submitted;
+  let ps = List.init 10 (fun i -> Pool.async pool (fun () -> i)) in
+  List.iteri (fun i p -> check_int "result" i (Pool.await p)) ps;
+  let s = Pool.stats pool in
+  check_int "submitted" 10 s.Pool.submitted;
+  check_int "settled" 10 s.Pool.settled;
+  check_int "none pending after await" 0 s.Pool.pending
+
+(* ------------------------------------------------------------------ *)
+(* Metrics history *)
+
+let test_metrics_history_appends () =
+  let path = Filename.temp_file "history" ".jsonl" in
+  Sys.remove path;
+  let append run seconds =
+    let m = Metrics.create ~jobs:2 () in
+    Metrics.record m ~experiment:"serve/wall" ~seconds;
+    Metrics.append_history m ~path ~run
+  in
+  append "serve-load" 1.5;
+  append "serve-load" 1.25;
+  let lines = Metrics.read_history path in
+  check_int "two runs accumulated" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      check_bool "tagged with the run name" true
+        (match Search_numerics.Json.member "run" line with
+        | Some (Search_numerics.Json.String s) -> String.equal s "serve-load"
+        | _ -> false);
+      check_bool "has entries" true
+        (Option.is_some (Search_numerics.Json.member "entries" line)))
+    lines;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ())
+
+let test_metrics_history_skips_torn_tail () =
+  let path = Filename.temp_file "history" ".jsonl" in
+  let m = Metrics.create ~jobs:1 () in
+  Metrics.record m ~experiment:"T" ~seconds:0.1;
+  Metrics.append_history m ~path ~run:"r";
+  (* simulate a run killed mid-append: a torn, unparsable last line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"run\": \"torn";
+  close_out oc;
+  check_int "torn tail skipped" 1 (List.length (Metrics.read_history path));
+  check_int "missing file is empty history" 0
+    (List.length (Metrics.read_history (path ^ ".does-not-exist")));
+  Sys.remove path;
+  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let tc name speed fn = Alcotest.test_case name speed fn
 
@@ -462,6 +570,24 @@ let () =
           tc "caches and counts" `Quick test_memo_caches;
           tc "consistent under domain contention" `Quick
             test_memo_concurrent;
+        ] );
+      ( "memo.lru",
+        [
+          tc "evicts the least recently used" `Quick
+            test_lru_evicts_lru_entry;
+          tc "clear resets entries and counters" `Quick
+            test_lru_clear_resets;
+          tc "rejects capacity < 1" `Quick test_lru_rejects_bad_capacity;
+          tc "consistent under eviction churn and contention" `Quick
+            test_lru_concurrent_consistent;
+        ] );
+      ( "pool.stats",
+        [ tc "counts submitted and settled jobs" `Quick test_pool_stats_counts ] );
+      ( "metrics.history",
+        [
+          tc "append accumulates runs" `Quick test_metrics_history_appends;
+          tc "read skips a torn tail" `Quick
+            test_metrics_history_skips_torn_tail;
         ] );
       ( "metrics",
         [
