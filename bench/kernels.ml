@@ -1,0 +1,197 @@
+(* Kernel microbenchmarks: the lazy reference paths vs the compiled
+   flat-array paths introduced by the raw-speed pass, plus the chunked
+   sweep-grid dispatch.  Hand-rolled timing (median-free, quota-driven
+   mean) so the CI job stays cheap and dependency-free; the Bechamel
+   suite in main.ml remains the precise instrument.
+
+   Writes BENCH_kernels.json (schema below) and appends one line to
+   results/bench_history.jsonl via Metrics.append_history, so the perf
+   trajectory of the kernels is tracked across commits alongside the
+   experiment timings.
+
+   Schema:
+     { "bench": "kernels", "jobs": 1,
+       "kernels": [ { "name": "...",
+                      "baseline_ns": ..., "candidate_ns": ...,
+                      "speedup": ... }, ... ] }
+
+   The benchmark compares steady-state evaluation: both paths are
+   warmed first, so the lazy side pays its per-access mutex + hashtable
+   probe and the compiled side its array reads — which is exactly the
+   trade the adversary's inner loop sees (the prefix is re-probed once
+   per candidate target). *)
+
+module FS = Faulty_search
+
+let quota = ref 0.5
+let out_path = ref "BENCH_kernels.json"
+let history_path = ref (Filename.concat "results" "bench_history.jsonl")
+let no_history = ref false
+
+(* Mean ns/run of [f], measured in doubling batches until [quota]
+   seconds of measurement have accumulated.  [f] is warmed once before
+   timing so memoisation caches are populated. *)
+let time_ns ~quota f =
+  ignore (Sys.opaque_identity (f ()));
+  let total_t = ref 0. and total_runs = ref 0 in
+  let batch = ref 1 in
+  while !total_t < quota do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to !batch do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    total_t := !total_t +. (Unix.gettimeofday () -. t0);
+    total_runs := !total_runs + !batch;
+    if !batch < 1_048_576 then batch := !batch * 2
+  done;
+  !total_t /. float_of_int !total_runs *. 1e9
+
+type result = { name : string; baseline_ns : float; candidate_ns : float }
+
+let speedup r = r.baseline_ns /. r.candidate_ns
+
+(* --- kernel 1: turning-prefix evaluation ---------------------------- *)
+
+let turning_prefix () =
+  let p = FS.Params.line ~k:3 ~f:1 in
+  let turns = (FS.Orc_cover.of_mray_group (FS.Mray_exponential.make p)).(0) in
+  let depth = 512 in
+  let lazy_eval () =
+    let acc = ref 0. in
+    for i = 1 to depth do
+      acc := !acc +. FS.Turning.partial_sum turns i
+    done;
+    !acc
+  in
+  let c = FS.Turning.compile ~hint:depth turns in
+  let compiled_eval () =
+    let acc = ref 0. in
+    for i = 1 to depth do
+      acc := !acc +. FS.Turning.compiled_partial_sum c i
+    done;
+    !acc
+  in
+  (* both views must agree bit for bit before we time them *)
+  assert (Float.equal (lazy_eval ()) (compiled_eval ()));
+  {
+    name = "turning/prefix-sums-512";
+    baseline_ns = time_ns ~quota:!quota lazy_eval;
+    candidate_ns = time_ns ~quota:!quota compiled_eval;
+  }
+
+(* --- kernel 2: the adversary's critical-point scan ------------------ *)
+
+let adversary_scan () =
+  let p = FS.Params.line ~k:3 ~f:1 in
+  let strat = FS.Mray_exponential.make p in
+  let trs =
+    Array.map FS.Trajectory.compile (FS.Mray_exponential.itineraries strat)
+  in
+  let run kernel () = FS.Adversary.worst_case trs ~f:1 ~kernel ~n:50. () in
+  let out_lazy = run `Lazy () and out_compiled = run `Compiled () in
+  assert (Float.equal out_lazy.FS.Adversary.ratio out_compiled.FS.Adversary.ratio);
+  assert (
+    FS.World.equal_point out_lazy.FS.Adversary.witness
+      out_compiled.FS.Adversary.witness);
+  {
+    name = "adversary/worst-case-k3-f1-n50";
+    baseline_ns = time_ns ~quota:!quota (run `Lazy);
+    candidate_ns = time_ns ~quota:!quota (run `Compiled);
+  }
+
+(* --- kernel 3: sweep-grid dispatch granularity ---------------------- *)
+
+let grid_batch () =
+  let cells = List.init 256 Fun.id in
+  let cell _meter i =
+    (* a cheap cell: dispatch overhead must be visible next to it *)
+    FS.Formulas.a_mray ~m:3 ~k:2 ~f:1 +. float_of_int i
+  in
+  let run chunk () =
+    FS.Pool.with_pool ~jobs:1 @@ fun pool ->
+    FS.Supervise.map pool ~chunk
+      ~task:(fun i _ -> Printf.sprintf "bench/cell-%d" i)
+      ~f:cell cells
+  in
+  let sum rs =
+    List.fold_left
+      (fun acc -> function Ok v -> acc +. v | Error _ -> acc)
+      0. rs
+  in
+  assert (Float.equal (sum (run 1 ())) (sum (run 16 ())));
+  {
+    name = "sweep/grid-dispatch-chunk16";
+    baseline_ns = time_ns ~quota:!quota (run 1);
+    candidate_ns = time_ns ~quota:!quota (run 16);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse
+    [
+      ( "--quota",
+        Arg.Set_float quota,
+        "SECONDS  measurement budget per timed side (default 0.5)" );
+      ( "--out",
+        Arg.Set_string out_path,
+        "FILE  where to write the JSON report (default BENCH_kernels.json)" );
+      ( "--history",
+        Arg.Set_string history_path,
+        "FILE  JSONL trend history to append to (default \
+         results/bench_history.jsonl)" );
+      ( "--no-history",
+        Arg.Set no_history,
+        "  skip the trend-history append (CI uses the artifact instead)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "kernels.exe [--quota S] [--out FILE]";
+  if !quota <= 0. then begin
+    prerr_endline "kernels.exe: --quota must be positive";
+    exit 2
+  end;
+  let results = [ turning_prefix (); adversary_scan (); grid_batch () ] in
+  let json =
+    FS.Json.Assoc
+      [
+        ("bench", FS.Json.String "kernels");
+        ("jobs", FS.Json.Number 1.);
+        ( "kernels",
+          FS.Json.List
+            (List.map
+               (fun r ->
+                 FS.Json.Assoc
+                   [
+                     ("name", FS.Json.String r.name);
+                     ("baseline_ns", FS.Json.Number r.baseline_ns);
+                     ("candidate_ns", FS.Json.Number r.candidate_ns);
+                     ("speedup", FS.Json.Number (speedup r));
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc (FS.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  if not !no_history then begin
+    let metrics = FS.Metrics.create ~jobs:1 () in
+    List.iter
+      (fun r ->
+        FS.Metrics.record metrics
+          ~experiment:(r.name ^ "/baseline")
+          ~seconds:(r.baseline_ns /. 1e9);
+        FS.Metrics.record metrics
+          ~experiment:(r.name ^ "/candidate")
+          ~seconds:(r.candidate_ns /. 1e9))
+      results;
+    (try Unix.mkdir (Filename.dirname !history_path) 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    FS.Metrics.append_history metrics ~path:!history_path ~run:"kernels"
+  end;
+  List.iter
+    (fun r ->
+      Printf.printf "%-32s baseline %10.1f ns   compiled %10.1f ns   %.2fx\n"
+        r.name r.baseline_ns r.candidate_ns (speedup r))
+    results;
+  Printf.printf "(report written to %s)\n" !out_path

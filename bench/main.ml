@@ -131,7 +131,7 @@ let t1_line_ratio pool =
       in
       let refuted =
         match
-          FS.Certificate.check_line ~turns ~f ~lambda:(0.99 *. bound) ~n
+          FS.Certificate.check_line ~turns ~f ~lambda:(0.99 *. bound) ~n ()
         with
         | FS.Certificate.Refuted_gap _ | FS.Certificate.Refuted_potential _ ->
             "yes"

@@ -73,7 +73,9 @@ let parse_args () =
     | _ -> usage ()
   in
   let o = go (List.tl (Array.to_list Sys.argv)) in
-  if o.conns < 1 || o.requests < 1 then usage ();
+  (* --requests 0 is a legal smoke probe: connect, read the server
+     stats, emit a report with null percentiles *)
+  if o.conns < 1 || o.requests < 0 then usage ();
   o
 
 (* ------------------------------------------------------------------ *)
@@ -293,13 +295,20 @@ let () =
   in
   let sorted = Array.copy latencies in
   Array.sort Float.compare sorted;
-  let nearest_rank p =
-    let n = Array.length sorted in
-    let r = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (r - 1)))
-  in
-  let p50 = nearest_rank 50. and p99 = nearest_rank 99. in
+  (* [None] on an empty sample (a --requests 0 probe): the report gets
+     JSON null and the console prints "n/a" instead of crashing on
+     [sorted.(-1)] *)
+  let p50 = FS.Stats.nearest_rank sorted ~p:50.
+  and p99 = FS.Stats.nearest_rank sorted ~p:99. in
   let throughput = float_of_int o.requests /. wall in
+  let percentile_json = function
+    | None -> FS.Json.Null
+    | Some v -> FS.Json.Number (v *. 1000.)
+  in
+  let percentile_cell = function
+    | None -> "n/a"
+    | Some v -> Printf.sprintf "%.2fms" (v *. 1000.)
+  in
   let report =
     FS.Json.Assoc
       [
@@ -310,8 +319,8 @@ let () =
         ("seed", FS.Json.Number (float_of_int o.seed));
         ("wall_seconds", FS.Json.Number wall);
         ("throughput_rps", FS.Json.Number throughput);
-        ("p50_ms", FS.Json.Number (p50 *. 1000.));
-        ("p99_ms", FS.Json.Number (p99 *. 1000.));
+        ("p50_ms", percentile_json p50);
+        ("p99_ms", percentile_json p99);
         ("overload_retries", FS.Json.Number (float_of_int !retries));
         ("response_digest", FS.Json.String digest);
         ("server_stats", stats_json);
@@ -324,15 +333,20 @@ let () =
   (match o.history with
   | None -> ()
   | Some path ->
-      let m = FS.Metrics.create ~jobs:(Array.length conns) () in
+      let m = FS.Metrics.create ~jobs:(max 1 (Array.length conns)) () in
       FS.Metrics.record m ~experiment:"serve/wall" ~seconds:wall;
-      FS.Metrics.record m ~experiment:"serve/p50" ~seconds:p50;
-      FS.Metrics.record m ~experiment:"serve/p99" ~seconds:p99;
+      (* percentile trend points only exist when there were requests *)
+      Option.iter
+        (fun v -> FS.Metrics.record m ~experiment:"serve/p50" ~seconds:v)
+        p50;
+      Option.iter
+        (fun v -> FS.Metrics.record m ~experiment:"serve/p99" ~seconds:v)
+        p99;
       FS.Metrics.append_history m ~path ~run:"serve-load");
   Printf.printf
     "serve-load: %d requests over %d connections in %.2fs (%.0f req/s)\n"
     o.requests (Array.length conns) wall throughput;
-  Printf.printf "serve-load: p50 %.2fms  p99 %.2fms  retries %d\n"
-    (p50 *. 1000.) (p99 *. 1000.) !retries;
+  Printf.printf "serve-load: p50 %s  p99 %s  retries %d\n"
+    (percentile_cell p50) (percentile_cell p99) !retries;
   Printf.printf "serve-load: digest %s\n" digest;
   Printf.printf "serve-load: report written to %s\n" o.out

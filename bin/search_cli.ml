@@ -129,6 +129,18 @@ let grid_arg =
   in
   Arg.(value & opt (some int) None & info [ "grid" ] ~docv:"C" ~doc)
 
+let kernel_arg =
+  let doc =
+    "Inner-loop implementation: $(b,compiled) (flat-array fast path, the \
+     default) or $(b,lazy) (the memoised reference path).  The two \
+     perform the same float operations in the same order, so all outputs \
+     are byte-identical."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("compiled", `Compiled); ("lazy", `Lazy) ]) `Compiled
+    & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 let check_jobs = function
   | Some j when j < 1 ->
       Format.eprintf "--jobs must be at least 1@.";
@@ -139,7 +151,7 @@ let json_out_arg =
   let doc = "Also write the certificate as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let certify_run m k f n lambda json_out jobs grid =
+let certify_run m k f n lambda json_out jobs grid kernel =
   with_params m k f @@ fun p ->
   if not (check_jobs jobs) then exit_usage
   else
@@ -169,10 +181,11 @@ let certify_run m k f n lambda json_out jobs grid =
       in
       let verdicts =
         if m = 2 then
-          FS.Certificate.check_line_sharded ?jobs ~turns ~f ~lambdas ~n ()
+          FS.Certificate.check_line_sharded ?jobs ~kernel ~turns ~f ~lambdas
+            ~n ()
         else
-          FS.Certificate.check_orc_sharded ?jobs ~turns ~demand:q ~lambdas ~n
-            ()
+          FS.Certificate.check_orc_sharded ?jobs ~kernel ~turns ~demand:q
+            ~lambdas ~n ()
       in
       let verdict = snd (List.hd verdicts) in
       Format.printf "bound:   %.6f@." bound;
@@ -229,7 +242,7 @@ let certify_cmd =
     (Cmd.info "certify" ~doc)
     Term.(
       const certify_run $ m_arg $ k_arg $ f_arg $ n_arg $ lambda_arg
-      $ json_out_arg $ jobs_arg $ grid_arg)
+      $ json_out_arg $ jobs_arg $ grid_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recheck                                                             *)
@@ -322,6 +335,14 @@ let sweep_out_arg =
   let doc = "Write the results table to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
 
+let chunk_arg =
+  let doc =
+    "Grid cells dispatched per pool task.  Chunking amortises dispatch \
+     overhead on cheap cells; the table is byte-identical at any chunk \
+     size (and any $(b,--jobs))."
+  in
+  Arg.(value & opt int 4 & info [ "chunk" ] ~docv:"C" ~doc)
+
 (* Checkpoint codec for one sweep row: [None] (sample below the alpha
    floor) is JSON null, [Some cells] is a list of strings. *)
 let row_to_json = function
@@ -336,11 +357,16 @@ let row_of_json = function
       else Error "sweep: malformed journalled row")
   | _ -> Error "sweep: expected null or a cell list"
 
-let sweep_run m k f n samples jobs chaos_seed retries checkpoint out =
+let sweep_run m k f n samples jobs chaos_seed retries checkpoint out kernel
+    chunk =
   with_params m k f @@ fun p ->
   if not (check_jobs jobs) then exit_usage
   else if samples < 2 then begin
     Format.eprintf "sweep: need --samples >= 2@.";
+    exit_usage
+  end
+  else if chunk < 1 then begin
+    Format.eprintf "sweep: need --chunk >= 1@.";
     exit_usage
   end
   else
@@ -394,7 +420,7 @@ let sweep_run m k f n samples jobs chaos_seed retries checkpoint out =
          the table, and the command exits 3. *)
       let rows =
         FS.Pool.with_pool ?jobs @@ fun pool ->
-        FS.Supervise.map pool ~spec ?persist
+        FS.Supervise.map pool ~spec ?persist ~chunk
           ~task:(fun i _ -> Printf.sprintf "sweep/alpha-%d" i)
           ~f:(fun _meter i ->
             let t = float_of_int i /. float_of_int (samples - 1) in
@@ -405,7 +431,7 @@ let sweep_run m k f n samples jobs chaos_seed retries checkpoint out =
               let outcome =
                 FS.Adversary.worst_case
                   (FS.Solve.trajectories solution)
-                  ~f ~n ()
+                  ~f ~kernel ~n ()
               in
               Some
                 [
@@ -444,7 +470,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc)
     Term.(
       const sweep_run $ m_arg $ k_arg $ f_arg $ n_arg $ samples_arg $ jobs_arg
-      $ chaos_seed_arg $ retries_arg $ checkpoint_arg $ sweep_out_arg)
+      $ chaos_seed_arg $ retries_arg $ checkpoint_arg $ sweep_out_arg
+      $ kernel_arg $ chunk_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -45,7 +45,7 @@ let () =
     (fun fraction ->
       let lambda = fraction *. bound in
       let verdict =
-        FS.Certificate.check_orc ~turns ~demand:m ~lambda ~n:400.
+        FS.Certificate.check_orc ~turns ~demand:m ~lambda ~n:400. ()
       in
       Format.printf "claim %.4f (%.0f%% of the value): %a@." lambda
         (100. *. fraction) FS.Certificate.pp_verdict verdict)

@@ -27,7 +27,7 @@ let () =
   (match FS.Solve.orc_turns solution with
   | Some turns ->
       let verdict =
-        FS.Certificate.check_line ~turns ~f:1 ~lambda:lambda_low ~n:1000.
+        FS.Certificate.check_line ~turns ~f:1 ~lambda:lambda_low ~n:1000. ()
       in
       Format.printf "at lambda = %.4f: %a@." lambda_low
         FS.Certificate.pp_verdict verdict

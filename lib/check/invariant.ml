@@ -384,7 +384,7 @@ let inv_cert ctx =
   let n = ctx.cover_n in
   let orc =
     cert_consistency "orc"
-      (Certificate.check_orc ~turns:ctx.turns ~demand:q ~lambda:ctx.lambda ~n)
+      (Certificate.check_orc ~turns:ctx.turns ~demand:q ~lambda:ctx.lambda ~n ())
       ~intervals:(fun () -> orc_intervals ctx ~n)
       ~recheck:(fun ~n -> Orc.check ctx.turns ~demand:q ~lambda:ctx.lambda ~n)
       ~demand:q ~n
@@ -393,7 +393,7 @@ let inv_cert ctx =
     if ctx.case.Case.m = 2 && s >= 1 && s <= ctx.case.Case.k then
       cert_consistency "line"
         (Certificate.check_line ~turns:ctx.turns ~f:ctx.case.Case.f
-           ~lambda:ctx.lambda ~n)
+           ~lambda:ctx.lambda ~n ())
         ~intervals:(fun () -> line_intervals ctx ~n)
         ~recheck:(fun ~n ->
           Symmetric.check ctx.turns ~demand:s ~lambda:ctx.lambda ~n)

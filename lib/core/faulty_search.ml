@@ -114,3 +114,4 @@ module Table = Search_numerics.Table
 module Prng = Search_numerics.Prng
 module Csv_out = Search_numerics.Csv_out
 module Json = Search_numerics.Json
+module Stats = Search_numerics.Stats

@@ -30,9 +30,9 @@ let build ?(claimed_fraction = 0.99) problem =
         let lambda = claimed_fraction *. Problem.bound problem in
         let verdict =
           if params.Params.m = 2 then
-            Certificate.check_line ~turns ~f ~lambda ~n
+            Certificate.check_line ~turns ~f ~lambda ~n ()
           else
-            Certificate.check_orc ~turns ~demand:(Params.q params) ~lambda ~n
+            Certificate.check_orc ~turns ~demand:(Params.q params) ~lambda ~n ()
         in
         let byz =
           if params.Params.m = 2 then

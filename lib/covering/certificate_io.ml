@@ -261,10 +261,10 @@ let recheck parsed ~turns =
     | Assigned.Line_symmetric ->
         (* recover f from the line demand s = 2(f+1) - k *)
         let f = (parsed.demand + parsed.k) / 2 - 1 in
-        Certificate.check_line ~turns ~f ~lambda:parsed.lambda ~n:parsed.n
+        Certificate.check_line ~turns ~f ~lambda:parsed.lambda ~n:parsed.n ()
     | Assigned.Orc_setting ->
         Certificate.check_orc ~turns ~demand:parsed.demand
-          ~lambda:parsed.lambda ~n:parsed.n
+          ~lambda:parsed.lambda ~n:parsed.n ()
   in
   let close_rel a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs b) in
   match (parsed.kind, verdict) with

@@ -9,24 +9,32 @@
     single-sided visit unless it λ-covers the pair, so at least
     [2(f+1) - k] robots must visit both sides in time.  This module turns
     turning-sequence strategies into interval multisets and checks the
-    demand with the sweep line. *)
+    demand with the sweep line.
+
+    Every entry point takes an optional [kernel]: [`Compiled] (default)
+    walks flat-array prefix views ({!Search_strategy.Turning.compiled}),
+    [`Lazy] walks the mutex-memoised sequences directly.  The two are
+    bit-identical — the compiled view replays the same arithmetic in the
+    same order — and the CI perf-smoke job diffs their outputs. *)
 
 val cover_intervals_within :
-  Search_strategy.Turning.t -> lambda:float -> within:float * float -> ?max_rounds:int
-  -> unit -> (int * Search_numerics.Interval1.t) list
+  ?kernel:[ `Lazy | `Compiled ] -> Search_strategy.Turning.t -> lambda:float
+  -> within:float * float -> ?max_rounds:int -> unit
+  -> (int * Search_numerics.Interval1.t) list
 (** One robot's λ-cover [Cov_mu(T)] restricted to the window: the fruitful
     intervals [[t''_i, t_i]] (eq. 3, [mu = (lambda-1)/2]) that intersect
     it.  Stops at the first turn whose threshold passes the window (the
     thresholds are nondecreasing).  [max_rounds] defaults to 1_000_000. *)
 
 val check :
-  Search_strategy.Turning.t array -> demand:int -> lambda:float -> n:float
-  -> Search_numerics.Sweep.verdict
+  ?kernel:[ `Lazy | `Compiled ] -> Search_strategy.Turning.t array
+  -> demand:int -> lambda:float -> n:float -> Search_numerics.Sweep.verdict
 (** Is [[1, n]] [demand]-fold λ-covered by the group?  [demand] is
     typically [Params.s] of the instance. *)
 
 val max_covered :
-  Search_strategy.Turning.t array -> demand:int -> lambda:float -> n:float -> float
+  ?kernel:[ `Lazy | `Compiled ] -> Search_strategy.Turning.t array
+  -> demand:int -> lambda:float -> n:float -> float
 (** The largest [x <= n] such that [[1, x)] is [demand]-fold λ-covered:
     the sweep's gap witness is the leftmost under-covered point ([n] when
     fully covered, [1.] when not even a neighbourhood of 1 is). *)

@@ -38,6 +38,7 @@ val map :
   Pool.t ->
   ?spec:spec ->
   ?persist:'b persist ->
+  ?chunk:int ->
   task:(int -> 'a -> string) ->
   f:(Search_resilience.Budget.meter -> 'a -> 'b) ->
   'a list ->
@@ -45,4 +46,10 @@ val map :
 (** [map pool ~task ~f items] — results in input order.  [task i x] must
     be a stable unique key (it names the task in errors, seeds its chaos
     plan, and keys its checkpoint).  [f] receives the armed budget meter
-    and should call [Budget.step] at progress points. *)
+    and should call [Budget.step] at progress points.
+
+    [chunk] (default [1]) groups that many consecutive items into one
+    pool task, amortising dispatch overhead when items are cheap (the
+    sweep grid).  Per-item semantics — task keys, chaos plans, retries,
+    budgets, checkpoints, result order — are unchanged at any chunk
+    size; already-journalled items are never re-dispatched. *)

@@ -40,26 +40,22 @@ let of_list_then prefix tail =
   of_fun (fun i -> if i <= n then arr.(i - 1) else tail i)
 
 let unfold ~init step =
-  (* Memoise the state walk: states.(i) is the state before producing
-     element i+1.  Grow on demand; [highest] is the largest computed
-     index, so filling up to a deep index is an iterative walk (constant
-     stack — trajectories can have millions of legs). *)
+  (* Memoise the state walk.  Only the state *after* the deepest computed
+     element is ever stepped from again, so one slot suffices — the
+     produced values are what gets memoised, not the intermediate states
+     (trajectories can have millions of legs; retaining every state kept
+     the whole walk live for the lifetime of the sequence).  The walk is
+     iterative, so filling up to a deep index is constant stack. *)
   let walk_mutex = Mutex.create () in
-  let states = ref [| init |] in
+  let state = ref init in
   let values : (int, 'a) Hashtbl.t = Hashtbl.create 64 in
   let highest = ref 0 in
   let ensure i =
     while !highest < i do
       let j = !highest + 1 in
-      let s = !states.(j - 1) in
-      let v, s' = step s in
+      let v, s' = step !state in
       Hashtbl.add values j v;
-      if Array.length !states <= j then begin
-        let bigger = Array.make ((2 * j) + 1) s' in
-        Array.blit !states 0 bigger 0 (Array.length !states);
-        states := bigger
-      end;
-      !states.(j) <- s';
+      state := s';
       highest := j
     done
   in

@@ -110,8 +110,8 @@ let eval_certify meter ~m ~k ~f ~n ~lambda =
   let bound = FS.Problem.bound problem in
   Budget.step meter;
   let verdict =
-    if m = 2 then FS.Certificate.check_line ~turns ~f ~lambda ~n
-    else FS.Certificate.check_orc ~turns ~demand:q ~lambda ~n
+    if m = 2 then FS.Certificate.check_line ~turns ~f ~lambda ~n ()
+    else FS.Certificate.check_orc ~turns ~demand:q ~lambda ~n ()
   in
   let tag =
     match verdict with

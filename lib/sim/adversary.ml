@@ -1,4 +1,5 @@
 module Stats = Search_numerics.Stats
+module Search_error = Search_numerics.Search_error
 
 type outcome = {
   ratio : float;
@@ -10,55 +11,150 @@ type outcome = {
 let default_eps = 1e-7
 let default_ratio_cap = 256.
 
-let candidate_targets trajectories ?(eps = default_eps) ~n ~time_horizon () =
-  if n < 1. then Search_numerics.Search_error.invalid ~where:"Adversary.candidate_targets" "need n >= 1";
+(* Sorted dedup in place: candidate depths come in with real duplicates
+   (the same turning depth reached by several trajectories, and the
+   always-added [1.]/[n] colliding with leg endpoints), and every
+   duplicate re-runs a full detection scan for an identical answer. *)
+let sorted_dedup a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    Array.sort Float.compare a;
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if not (Float.equal a.(r) a.(!w - 1)) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    Array.sub a 0 !w
+  end
+
+(* Per-ray candidate depths, each ascending and duplicate-free.  Both
+   kernels scan rays in index order and depths in ascending order, so
+   the supremum fold visits identical (ray, depth) sequences — same
+   ratio, same witness. *)
+let candidate_depths trajectories ~eps ~n ~time_horizon =
+  if n < 1. then
+    Search_error.invalid ~where:"Adversary.candidate_targets" "need n >= 1";
   let world = Trajectory.world trajectories.(0) in
   let m = World.arity world in
   let depths_per_ray = Array.make m [] in
-  Array.iter
-    (fun tr ->
-      List.iter
-        (fun (ray, d) -> depths_per_ray.(ray) <- d :: depths_per_ray.(ray))
-        (Trajectory.leg_endpoints tr ~horizon:time_horizon))
-    trajectories;
-  let points = ref [] in
-  let add ray dist =
-    if dist >= 1. && dist <= n then
-      points := World.point world ~ray ~dist :: !points
+  let add ray d =
+    if d >= 1. && d <= n then depths_per_ray.(ray) <- d :: depths_per_ray.(ray)
   in
   for ray = 0 to m - 1 do
     add ray 1.;
-    add ray n;
-    List.iter
-      (fun d ->
-        add ray d;
-        add ray (d *. (1. -. eps));
-        add ray (d *. (1. +. eps)))
-      depths_per_ray.(ray)
+    add ray n
   done;
-  !points
+  Array.iter
+    (fun tr ->
+      List.iter
+        (fun (ray, d) ->
+          add ray d;
+          add ray (d *. (1. -. eps));
+          add ray (d *. (1. +. eps)))
+        (Trajectory.leg_endpoints tr ~horizon:time_horizon))
+    trajectories;
+  Array.map (fun ds -> sorted_dedup (Array.of_list ds)) depths_per_ray
+
+let candidate_targets trajectories ?(eps = default_eps) ~n ~time_horizon () =
+  let world = Trajectory.world trajectories.(0) in
+  let depths = candidate_depths trajectories ~eps ~n ~time_horizon in
+  List.concat
+    (List.mapi
+       (fun ray ds ->
+         Array.to_list ds |> List.map (fun d -> World.point world ~ray ~dist:d))
+       (Array.to_list depths))
 
 let worst_case trajectories ~f ?(eps = default_eps)
-    ?(ratio_cap = default_ratio_cap) ~n () =
+    ?(ratio_cap = default_ratio_cap) ?(kernel = `Compiled) ~n () =
   if Array.length trajectories = 0 then
-    Search_numerics.Search_error.invalid ~where:"Adversary.worst_case" "no robots";
+    Search_error.invalid ~where:"Adversary.worst_case" "no robots";
   let time_horizon = ratio_cap *. n in
-  let candidates = candidate_targets trajectories ~eps ~n ~time_horizon () in
-  let sup =
-    List.fold_left
-      (fun acc target ->
-        let ratio =
-          Engine.detection_ratio trajectories ~f ~target ~time_horizon
-        in
-        Stats.sup_add acc ~key:target ~value:ratio)
-      Stats.sup_empty candidates
-  in
-  match Stats.sup_witness sup with
-  | None -> Search_numerics.Search_error.invalid ~where:"Adversary.worst_case" "empty candidate set"
-  | Some witness ->
-      let ratio = Stats.sup_value sup in
+  let world = Trajectory.world trajectories.(0) in
+  let depths = candidate_depths trajectories ~eps ~n ~time_horizon in
+  let scanned = Array.fold_left (fun acc a -> acc + Array.length a) 0 depths in
+  match kernel with
+  | `Lazy ->
+      (* reference path: per-candidate option lists through [Engine] *)
+      let sup = ref Stats.sup_empty in
+      Array.iteri
+        (fun ray ds ->
+          Array.iter
+            (fun d ->
+              let target = World.point world ~ray ~dist:d in
+              let ratio =
+                Engine.detection_ratio trajectories ~f ~target ~time_horizon
+              in
+              sup := Stats.sup_add !sup ~key:target ~value:ratio)
+            ds)
+        depths;
+      let sup = !sup in
+      (match Stats.sup_witness sup with
+      | None ->
+          Search_error.invalid ~where:"Adversary.worst_case"
+            "empty candidate set"
+      | Some witness ->
+          let ratio = Stats.sup_value sup in
+          let detection_time =
+            if Float.equal ratio infinity then infinity
+            else ratio *. witness.World.dist
+          in
+          { ratio; witness; detection_time; candidates_scanned = scanned })
+  | `Compiled ->
+      if f < 0 then Search_error.invalid ~where:"Adversary.worst_case" "f < 0";
+      (* fast path: flat leg arrays, a reused scratch array for the
+         (f+1)-st smallest visit time, no per-candidate allocation.  The
+         arithmetic (visit times, the (f+1)-st order statistic, the
+         ratio) matches the lazy path bit for bit, and candidates are
+         visited in the same order, so ratio and witness agree exactly. *)
+      let flats =
+        Array.map
+          (fun tr -> Trajectory.flatten tr ~horizon:time_horizon)
+          trajectories
+      in
+      let k = Array.length trajectories in
+      let times = Array.make k infinity in
+      let best = ref neg_infinity in
+      let best_ray = ref 0 and best_dist = ref 0. in
+      Array.iteri
+        (fun ray ds ->
+          Array.iter
+            (fun d ->
+              for r = 0 to k - 1 do
+                times.(r) <-
+                  Trajectory.flat_first_visit flats.(r) ~ray ~dist:d
+                    ~horizon:time_horizon
+              done;
+              Array.sort Float.compare times;
+              let t = if f < k then times.(f) else infinity in
+              let ratio =
+                if Float.equal t infinity then infinity else t /. d
+              in
+              (* same contract as [Stats.sup_add]: a NaN ratio surfaces *)
+              if Float.is_nan ratio then
+                Search_error.raise_
+                  (Search_error.Non_convergence
+                     {
+                       where = "Stats.sup_add";
+                       steps = 0;
+                       detail = "supremum fed a NaN sample";
+                     });
+              if ratio > !best then begin
+                best := ratio;
+                best_ray := ray;
+                best_dist := d
+              end)
+            ds)
+        depths;
+      if Float.equal !best neg_infinity then
+        Search_error.invalid ~where:"Adversary.worst_case"
+          "empty candidate set";
+      let witness = World.point world ~ray:!best_ray ~dist:!best_dist in
+      let ratio = !best in
       let detection_time =
         if Float.equal ratio infinity then infinity
         else ratio *. witness.World.dist
       in
-      { ratio; witness; detection_time; candidates_scanned = List.length candidates }
+      { ratio; witness; detection_time; candidates_scanned = scanned }

@@ -32,10 +32,22 @@ val candidate_targets :
   -> World.point list
 (** All breakpoint-bracketing targets with distances in [[1, n]]:
     the distances [1.], [n], and [d], [d (1-eps)], [d (1+eps)] for every
-    leg-endpoint depth [d] of every robot reached within [time_horizon]. *)
+    leg-endpoint depth [d] of every robot reached within [time_horizon].
+    Sorted by ray index, then ascending distance, with exact duplicates
+    removed — the same depth reached by several robots (or colliding with
+    the [1.]/[n] endpoints) is scanned once. *)
 
 val worst_case :
-  Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float -> n:float
-  -> unit -> outcome
+  Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float
+  -> ?kernel:[ `Lazy | `Compiled ] -> n:float -> unit -> outcome
 (** Supremum of the crash-fault detection ratio over {!candidate_targets}.
-    Requires a non-empty trajectory array and [n >= 1.]. *)
+    Requires a non-empty trajectory array and [n >= 1.].
+
+    [kernel] selects the scan implementation: [`Compiled] (default)
+    flattens each trajectory's leg prefix into arrays once and runs an
+    allocation-free inner loop with a reused scratch array for the
+    (f+1)-st-smallest visit time; [`Lazy] evaluates each candidate
+    through {!Engine.detection_ratio} (consed lists, per-candidate
+    sort).  Both visit the candidates in the same order and perform the
+    same float operations, so [ratio], [witness] and [detection_time]
+    are bit-identical. *)

@@ -8,8 +8,8 @@
 type profile_point = { dist : float; ray : int; ratio : float }
 
 val sup_ratio :
-  Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float -> n:float
-  -> unit -> Adversary.outcome
+  Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float
+  -> ?kernel:[ `Lazy | `Compiled ] -> n:float -> unit -> Adversary.outcome
 (** Alias for {!Adversary.worst_case}. *)
 
 val profile :

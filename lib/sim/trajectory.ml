@@ -155,3 +155,54 @@ let leg_endpoints ?(max_legs = default_max_legs) t ~horizon =
     ~f:(fun acc l -> (l.ray, l.d_to) :: acc)
     []
   |> List.rev
+
+(* Flat (struct-of-arrays) view of the leg prefix within a horizon: the
+   adversary probes the same prefix once per candidate target, and the
+   lazy path pays a mutex + hashtable probe per leg per candidate.  The
+   flat view is built in one walk and scanned with plain array reads. *)
+type flat = {
+  flat_rays : int array;
+  flat_froms : float array;
+  flat_los : float array;
+  flat_his : float array;
+  flat_starts : float array;
+}
+
+let flatten ?(max_legs = default_max_legs) t ~horizon =
+  let legs =
+    fold_legs t ~max_legs
+      ~continue:(fun l -> l.t_start <= horizon)
+      ~f:(fun acc l -> l :: acc)
+      []
+    |> List.rev |> Array.of_list
+  in
+  {
+    flat_rays = Array.map (fun l -> l.ray) legs;
+    flat_froms = Array.map (fun l -> l.d_from) legs;
+    flat_los = Array.map (fun l -> Float.min l.d_from l.d_to) legs;
+    flat_his = Array.map (fun l -> Float.max l.d_from l.d_to) legs;
+    flat_starts = Array.map (fun l -> l.t_start) legs;
+  }
+
+let flat_first_visit fl ~ray ~dist ~horizon =
+  (* Legs are time-ordered, so the first leg containing the target gives
+     the earliest visit; a visit time past the horizon cannot be beaten
+     by a later leg (whose times are even later), hence the early
+     [infinity].  Bit-identical to [first_visit] for targets with
+     [dist >= 1] (never the origin): same time expression, same horizon
+     cut.  [infinity] encodes "not visited" so callers can sort a
+     scratch array without an option box. *)
+  let len = Array.length fl.flat_starts in
+  let rec scan j =
+    if j >= len then infinity
+    else if
+      Int.equal fl.flat_rays.(j) ray
+      && dist >= fl.flat_los.(j)
+      && dist <= fl.flat_his.(j)
+    then begin
+      let time = fl.flat_starts.(j) +. Float.abs (dist -. fl.flat_froms.(j)) in
+      if time <= horizon then time else infinity
+    end
+    else scan (j + 1)
+  in
+  scan 0

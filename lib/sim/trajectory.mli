@@ -49,4 +49,25 @@ val leg_endpoints : ?max_legs:int -> t -> horizon:float -> (int * float) list
     the turning points of the strategy, which are exactly the breakpoints
     of the detection-time function the adversary scans. *)
 
+type flat = private {
+  flat_rays : int array;
+  flat_froms : float array;
+  flat_los : float array;  (** min of the leg's two endpoints *)
+  flat_his : float array;  (** max of the leg's two endpoints *)
+  flat_starts : float array;
+}
+(** Struct-of-arrays view of the leg prefix within a horizon, for
+    allocation-free scanning (the adversary's hot path).  One entry per
+    leg with [t_start <= horizon], in time order. *)
+
+val flatten : ?max_legs:int -> t -> horizon:float -> flat
+(** One lazy walk of the legs, then plain arrays.
+    @raise Stalled as {!position} would. *)
+
+val flat_first_visit : flat -> ray:int -> dist:float -> horizon:float -> float
+(** Earliest visit time of the non-origin target [(ray, dist)], or
+    [infinity] when it is not visited by [horizon].  Agrees bit-for-bit
+    with {!first_visit} on the flattened trajectory for [dist >= 1] and
+    the same horizon. *)
+
 val default_max_legs : int

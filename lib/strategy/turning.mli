@@ -41,3 +41,33 @@ val scale : t -> float -> t
 val map_indices : t -> (int -> int) -> t
 (** [map_indices s g] is the subsequence [t_{g 1}, t_{g 2}, ...]; [g] must
     be strictly increasing (not checked).  Used to skip turning points. *)
+
+(** {2 Compiled (flat-array) view}
+
+    The covering and adversary inner loops re-probe the same turning
+    prefix thousands of times; through the lazy representation each probe
+    pays a mutex acquisition and a hashtable lookup.  A compiled view
+    caches the prefix in preallocated float arrays (grown by doubling)
+    and replays the exact Kahan summation chain of the lazy
+    [partial_sums], so every value it returns is bit-identical to the
+    lazy path — the two kernels cannot drift. *)
+
+type compiled
+(** A flat-array prefix cache over a turning sequence.  NOT domain-safe:
+    one view per task/domain (the underlying {!t} stays shared and
+    mutex-memoised). *)
+
+val compile : ?hint:int -> t -> compiled
+(** A fresh view; [hint] preallocates that many elements (default 64).
+    Construction is O(1) — elements are pulled from the source on first
+    access. *)
+
+val source : compiled -> t
+val compiled_length : compiled -> int
+(** Number of elements materialised so far. *)
+
+val compiled_get : compiled -> int -> float
+(** Same contract (including validation) as {!get}. *)
+
+val compiled_partial_sum : compiled -> int -> float
+(** Same contract as {!partial_sum}, bit-identical values. *)

@@ -137,7 +137,7 @@ let test_lower_bound_story_end_to_end () =
   check_bool "2. covering" true (r.FS.Verify.covering_ok = Some true);
   let turns = Option.get (FS.Solve.orc_turns s) in
   (match
-     FS.Certificate.check_line ~turns ~f:1 ~lambda:(0.99 *. bound) ~n:400.
+     FS.Certificate.check_line ~turns ~f:1 ~lambda:(0.99 *. bound) ~n:400. ()
    with
   | FS.Certificate.Refuted_gap _ -> ()
   | v ->

@@ -272,22 +272,22 @@ let test_potential_ceiling_respected_on_valid_covers () =
 
 let test_cert_gap_below_bound () =
   let turns = turns31 () in
-  (match Cert.check_line ~turns ~f:1 ~lambda:(lam31 -. 0.05) ~n:500. with
+  (match Cert.check_line ~turns ~f:1 ~lambda:(lam31 -. 0.05) ~n:500. () with
   | Cert.Refuted_gap { multiplicity; demand; _ } ->
       check_int "demand s=1" 1 demand;
       check_int "gap multiplicity" 0 multiplicity
   | v -> Alcotest.failf "expected gap refutation, got %a" Cert.pp_verdict v);
-  match Cert.check_orc ~turns ~demand:4 ~lambda:(lam31 -. 0.05) ~n:500. with
+  match Cert.check_orc ~turns ~demand:4 ~lambda:(lam31 -. 0.05) ~n:500. () with
   | Cert.Refuted_gap { demand; _ } -> check_int "demand q=4" 4 demand
   | v -> Alcotest.failf "expected gap refutation, got %a" Cert.pp_verdict v
 
 let test_cert_not_refuted_at_bound () =
   let turns = turns31 () in
-  (match Cert.check_line ~turns ~f:1 ~lambda:(lam31 +. 1e-6) ~n:500. with
+  (match Cert.check_line ~turns ~f:1 ~lambda:(lam31 +. 1e-6) ~n:500. () with
   | Cert.Not_refuted { delta; _ } ->
       check_bool "delta <= 1 above the bound" true (delta <= 1.)
   | v -> Alcotest.failf "expected not-refuted, got %a" Cert.pp_verdict v);
-  match Cert.check_orc ~turns ~demand:4 ~lambda:(lam31 +. 1e-6) ~n:500. with
+  match Cert.check_orc ~turns ~demand:4 ~lambda:(lam31 +. 1e-6) ~n:500. () with
   | Cert.Not_refuted _ -> ()
   | v -> Alcotest.failf "expected not-refuted, got %a" Cert.pp_verdict v
 
@@ -298,16 +298,16 @@ let test_cert_finite_cover_below_bound_consistent () =
     Turning.of_list_then [ 0.5; 1.0; 1.9; 3.5 ]
       (fun i -> 3.5 *. (2. ** float_of_int (i - 4)))
   in
-  match Cert.check_line ~turns:[| padded |] ~f:0 ~lambda:8. ~n:1.85 with
+  match Cert.check_line ~turns:[| padded |] ~f:0 ~lambda:8. ~n:1.85 () with
   | Cert.Not_refuted { delta; _ } -> check_bool "delta > 1" true (delta > 1.)
   | v -> Alcotest.failf "expected not-refuted, got %a" Cert.pp_verdict v
 
 let test_cert_validation () =
   let turns = turns31 () in
-  (match Cert.check_line ~turns ~f:0 ~lambda:5. ~n:10. with
+  (match Cert.check_line ~turns ~f:0 ~lambda:5. ~n:10. () with
   | exception Invalid_argument _ -> () (* s = 2*1 - 3 < 1 *)
   | _ -> Alcotest.fail "bad s accepted");
-  match Cert.check_orc ~turns ~demand:3 ~lambda:5. ~n:10. with
+  match Cert.check_orc ~turns ~demand:3 ~lambda:5. ~n:10. () with
   | exception Invalid_argument _ -> () (* demand <= k *)
   | _ -> Alcotest.fail "demand <= k accepted"
 
@@ -424,7 +424,7 @@ let cert_roundtrip verdict =
 let test_cio_roundtrip_gap () =
   let turns = turns31 () in
   let verdict =
-    Cert.check_line ~turns ~f:1 ~lambda:(0.99 *. lam31) ~n:200.
+    Cert.check_line ~turns ~f:1 ~lambda:(0.99 *. lam31) ~n:200. ()
   in
   let p = cert_roundtrip verdict in
   check_int "k" 3 p.CIO.k;
@@ -438,7 +438,7 @@ let test_cio_roundtrip_gap () =
 
 let test_cio_roundtrip_not_refuted () =
   let turns = turns31 () in
-  let verdict = Cert.check_line ~turns ~f:1 ~lambda:(lam31 +. 1e-6) ~n:200. in
+  let verdict = Cert.check_line ~turns ~f:1 ~lambda:(lam31 +. 1e-6) ~n:200. () in
   let json_s =
     CIO.export_string ~setting:A.Line_symmetric ~k:3 ~demand:1
       ~lambda:(lam31 +. 1e-6) ~n:200. verdict
@@ -452,7 +452,7 @@ let test_cio_roundtrip_not_refuted () =
 let test_cio_recheck_confirms () =
   let turns = turns31 () in
   let lambda = 0.99 *. lam31 in
-  let verdict = Cert.check_line ~turns ~f:1 ~lambda ~n:200. in
+  let verdict = Cert.check_line ~turns ~f:1 ~lambda ~n:200. () in
   let json_s =
     CIO.export_string ~setting:A.Line_symmetric ~k:3 ~demand:1 ~lambda ~n:200.
       verdict
@@ -485,7 +485,7 @@ let test_cio_recheck_detects_tampering () =
 let test_cio_recheck_wrong_k () =
   let turns = turns31 () in
   let lambda = 0.99 *. lam31 in
-  let verdict = Cert.check_line ~turns ~f:1 ~lambda ~n:200. in
+  let verdict = Cert.check_line ~turns ~f:1 ~lambda ~n:200. () in
   let json_s =
     CIO.export_string ~setting:A.Line_symmetric ~k:3 ~demand:1 ~lambda ~n:200.
       verdict
@@ -656,7 +656,7 @@ let prop_certificate_refutes_below =
       let strat = Mray.make (P.line ~k ~f) in
       let turns = Orc.of_mray_group strat in
       let lambda = 0.99 *. Mray.predicted_ratio strat in
-      match Cert.check_line ~turns ~f ~lambda ~n:200. with
+      match Cert.check_line ~turns ~f ~lambda ~n:200. () with
       | Cert.Refuted_gap _ | Cert.Refuted_potential _ -> true
       | Cert.Not_refuted _ | Cert.Inconclusive _ -> false)
 
@@ -716,7 +716,7 @@ let prop_refutation_monotone_in_lambda =
       let turns = Orc.of_mray_group strat in
       let lam0 = Mray.predicted_ratio strat in
       let refuted lambda =
-        match Cert.check_line ~turns ~f ~lambda ~n:200. with
+        match Cert.check_line ~turns ~f ~lambda ~n:200. () with
         | Cert.Refuted_gap _ | Cert.Refuted_potential _ -> true
         | Cert.Not_refuted _ | Cert.Inconclusive _ -> false
       in

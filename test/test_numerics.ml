@@ -401,6 +401,44 @@ let test_stats_sup () =
   checkf "sup value" 3. (Stats.sup_value s);
   check_bool "witness b" true (Stats.sup_witness s = Some "b")
 
+(* Regression: a NaN fed to the supremum used to be swallowed (every
+   [>] comparison against NaN is false), silently under-reporting the
+   worst case; it must surface as a typed error instead. *)
+let test_stats_sup_nan_raises () =
+  let s = Stats.sup_add Stats.sup_empty ~key:"a" ~value:1. in
+  Alcotest.check_raises "NaN surfaces"
+    (Search_numerics.Search_error.Error
+       (Search_numerics.Search_error.Non_convergence
+          {
+            where = "Stats.sup_add";
+            steps = 0;
+            detail = "supremum fed a NaN sample";
+          }))
+    (fun () -> ignore (Stats.sup_add s ~key:"bad" ~value:Float.nan))
+
+let test_stats_sup_infinity_legal () =
+  (* infinity is the adversary's escape verdict (ratio_cap exceeded):
+     a legitimate sample, not an error *)
+  let s = Stats.sup_add Stats.sup_empty ~key:"a" ~value:2. in
+  let s = Stats.sup_add s ~key:"esc" ~value:infinity in
+  check_bool "sup is inf" true (Float.equal (Stats.sup_value s) infinity);
+  check_bool "witness esc" true (Stats.sup_witness s = Some "esc")
+
+let test_stats_nearest_rank () =
+  let eq = Option.equal Float.equal in
+  check_bool "empty" true (eq None (Stats.nearest_rank [||] ~p:50.));
+  check_bool "singleton p0" true
+    (eq (Some 7.) (Stats.nearest_rank [| 7. |] ~p:0.));
+  check_bool "singleton p100" true
+    (eq (Some 7.) (Stats.nearest_rank [| 7. |] ~p:100.));
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_bool "p50" true (eq (Some 2.) (Stats.nearest_rank a ~p:50.));
+  check_bool "p75" true (eq (Some 3.) (Stats.nearest_rank a ~p:75.));
+  check_bool "p99" true (eq (Some 4.) (Stats.nearest_rank a ~p:99.));
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Stats.nearest_rank: need 0 <= p <= 100") (fun () ->
+      ignore (Stats.nearest_rank a ~p:101.))
+
 (* ------------------------------------------------------------------ *)
 (* Table *)
 
@@ -716,6 +754,9 @@ let () =
           tc "basic" `Quick test_stats_basic;
           tc "empty raises" `Quick test_stats_empty_raises;
           tc "sup tracking" `Quick test_stats_sup;
+          tc "sup NaN raises" `Quick test_stats_sup_nan_raises;
+          tc "sup infinity legal" `Quick test_stats_sup_infinity_legal;
+          tc "nearest rank" `Quick test_stats_nearest_rank;
         ] );
       ( "table",
         [

@@ -318,6 +318,44 @@ let test_supervised_map_chaos_identity () =
         true same)
     [ 1; 4 ]
 
+(* Chunked dispatch must not change anything observable: same results
+   in the same order, same per-item chaos plans (task keys unchanged),
+   at every chunk size — including chunks larger than the batch. *)
+let test_supervised_map_chunk_identity () =
+  let items = List.init 23 Fun.id in
+  let f _meter i = (i * i) + 1 in
+  let task i _ = Printf.sprintf "chunky/item-%d" i in
+  let chaos = Chaos.make ~seed:7 () in
+  let spec =
+    {
+      Supervise.default with
+      chaos;
+      retry = Retry.immediate ~attempts:(Chaos.max_faults chaos + 1);
+    }
+  in
+  let reference =
+    Pool.with_pool ~jobs:1 (fun pool -> Supervise.map pool ~spec ~task ~f items)
+  in
+  List.iter
+    (fun (jobs, chunk) ->
+      let got =
+        Pool.with_pool ~jobs (fun pool ->
+            Supervise.map pool ~spec ~chunk ~task ~f items)
+      in
+      check_bool
+        (Printf.sprintf "chunk=%d jobs=%d" chunk jobs)
+        true
+        (List.for_all2
+           (fun a b ->
+             match (a, b) with Ok x, Ok y -> x = y | _ -> false)
+           reference got))
+    [ (1, 2); (1, 16); (4, 3); (4, 64) ];
+  Alcotest.check_raises "chunk must be positive"
+    (Invalid_argument "Supervise.map: chunk must be >= 1") (fun () ->
+      ignore
+        (Pool.with_pool ~jobs:1 (fun pool ->
+             Supervise.map pool ~chunk:0 ~task ~f items)))
+
 let test_supervised_map_insufficient_retries_fail_closed () =
   (* with no retries, chaos-faulted items surface as Error, the rest
      still succeed — graceful degradation, not abort *)
@@ -550,6 +588,8 @@ let () =
         ] );
       ( "supervise",
         [
+          tc "chunked dispatch is observation-free" `Quick
+            test_supervised_map_chunk_identity;
           tc "chaos + retries == plain run at jobs 1 and 4" `Quick
             test_supervised_map_chaos_identity;
           tc "without retries faults degrade per-item" `Quick

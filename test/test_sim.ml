@@ -406,6 +406,90 @@ let test_adversary_candidates_cover_rays () =
     (fun p -> check_bool "in range" true (p.W.dist >= 1. && p.W.dist <= 100.))
     cands
 
+(* Duplicate candidates: two identical trajectories hit the same leg
+   endpoints, so before dedup every breakpoint was scanned twice (and
+   the [1.]/[n] anchors collided with endpoints).  The deduped scan of
+   the pair must do exactly the work of the single robot, with the
+   verdict untouched. *)
+let test_adversary_dedup_candidates () =
+  let one = [| Tr.compile (doubling_cow ()) |] in
+  let two = [| Tr.compile (doubling_cow ()); Tr.compile (doubling_cow ()) |] in
+  let out1 = Adv.worst_case one ~f:0 ~n:200. () in
+  let out2 = Adv.worst_case two ~f:0 ~n:200. () in
+  check_int "identical robots add no candidates" out1.Adv.candidates_scanned
+    out2.Adv.candidates_scanned;
+  check_bool "ratio unchanged" true (Float.equal out1.Adv.ratio out2.Adv.ratio);
+  check_bool "witness unchanged" true
+    (W.equal_point out1.Adv.witness out2.Adv.witness);
+  (* and the candidate list itself is duplicate-free and sorted *)
+  let cands = Adv.candidate_targets two ~n:200. ~time_horizon:1000. () in
+  let rec strictly_ordered = function
+    | a :: (b :: _ as rest) ->
+        (a.W.ray < b.W.ray || (a.W.ray = b.W.ray && a.W.dist < b.W.dist))
+        && strictly_ordered rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "sorted, no duplicates" true (strictly_ordered cands)
+
+(* The flat (struct-of-arrays) leg view must agree bit for bit with the
+   lazy walk on every non-origin target. *)
+let test_trajectory_flat_first_visit () =
+  let tr = Tr.compile (doubling_cow ()) in
+  let horizon = 500. in
+  let fl = Tr.flatten tr ~horizon in
+  for ray = 0 to 1 do
+    List.iter
+      (fun dist ->
+        let target = W.point W.line ~ray ~dist in
+        let reference =
+          match Tr.first_visit tr ~target ~horizon with
+          | Some t -> t
+          | None -> infinity
+        in
+        let flat = Tr.flat_first_visit fl ~ray ~dist ~horizon in
+        check_bool
+          (Printf.sprintf "ray %d dist %g" ray dist)
+          true
+          (Int64.equal (Int64.bits_of_float reference)
+             (Int64.bits_of_float flat)))
+      [ 1.; 1.5; 2.; 3.7; 16.; 100.; 200.; 450. ]
+  done
+
+(* The compiled kernel must reproduce the lazy reference exactly:
+   same supremum, same witness, same candidate count. *)
+let test_adversary_kernels_agree () =
+  let instances =
+    [
+      ([| Tr.compile (doubling_cow ()) |], 0, 500.);
+      ( Array.map Tr.compile
+          (Search_strategy.Mray_exponential.itineraries
+             (Search_strategy.Mray_exponential.make
+                (Search_bounds.Params.line ~k:3 ~f:1))),
+        1,
+        200. );
+    ]
+  in
+  List.iter
+    (fun (trs, f, n) ->
+      let l = Adv.worst_case trs ~f ~kernel:`Lazy ~n () in
+      let c = Adv.worst_case trs ~f ~kernel:`Compiled ~n () in
+      check_bool "ratio bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float l.Adv.ratio)
+           (Int64.bits_of_float c.Adv.ratio));
+      check_bool "witness" true (W.equal_point l.Adv.witness c.Adv.witness);
+      check_bool "detection time" true
+        (Float.equal l.Adv.detection_time c.Adv.detection_time);
+      check_int "scanned" l.Adv.candidates_scanned c.Adv.candidates_scanned)
+    instances;
+  (* f >= k: every candidate escapes under both kernels *)
+  let tr = [| Tr.compile (doubling_cow ()) |] in
+  let l = Adv.worst_case tr ~f:2 ~kernel:`Lazy ~n:50. () in
+  let c = Adv.worst_case tr ~f:2 ~kernel:`Compiled ~n:50. () in
+  check_bool "escape lazy" true (Float.equal l.Adv.ratio infinity);
+  check_bool "escape compiled" true (Float.equal c.Adv.ratio infinity);
+  check_bool "escape witness" true (W.equal_point l.Adv.witness c.Adv.witness)
+
 let test_adversary_partition_ratio_one () =
   (* k=2 straight-out robots, f=0 on the line: ratio exactly 1 *)
   let w = W.line in
@@ -916,6 +1000,9 @@ let () =
         [
           tc "cow path is 9" `Quick test_adversary_cow_path_is_nine;
           tc "candidates cover rays" `Quick test_adversary_candidates_cover_rays;
+          tc "dedup candidates" `Quick test_adversary_dedup_candidates;
+          tc "flat first visit" `Quick test_trajectory_flat_first_visit;
+          tc "kernels agree" `Quick test_adversary_kernels_agree;
           tc "partition ratio one" `Quick test_adversary_partition_ratio_one;
         ] );
       ( "competitive",

@@ -70,6 +70,64 @@ let test_turning_map_indices () =
   checkf "second" 8. (Turning.get t 2)
 
 (* ------------------------------------------------------------------ *)
+(* Compiled (flat-array) view: must replay the lazy view bit for bit *)
+
+let check_bits name a b =
+  if not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) then
+    Alcotest.failf "%s: lazy %h <> compiled %h" name a b
+
+let test_compiled_basic () =
+  let c = Turning.compile ~hint:4 doubling in
+  check_bool "source" true (Turning.source c == doubling);
+  checkf "get" 4. (Turning.compiled_get c 3);
+  checkf "partial sum" 7. (Turning.compiled_partial_sum c 3);
+  checkf "empty sum" 0. (Turning.compiled_partial_sum c 0);
+  check_bool "length grows" true (Turning.compiled_length c >= 3)
+
+let test_compiled_negative_rejected () =
+  let t = Turning.of_fun (fun i -> if i = 2 then -1. else 1.) in
+  let c = Turning.compile t in
+  ignore (Turning.compiled_get c 1);
+  match Turning.compiled_get c 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative turning point accepted by compiled view"
+
+(* Property: over fuzz-grade generated strategies (noisy, possibly
+   non-monotone), every prefix value and Kahan partial sum of the
+   compiled view equals the lazy view bitwise — under interleaved
+   access orders, since the compiled view grows on demand. *)
+let test_compiled_matches_lazy_generated () =
+  let depth = 96 in
+  List.iter
+    (fun case ->
+      Array.iter
+        (fun t ->
+          let c = Turning.compile t in
+          (* descending first touch: one ensure-growth, then cached *)
+          for i = depth downto 1 do
+            check_bits
+              (Printf.sprintf "get %d" i)
+              (Turning.get t i)
+              (Turning.compiled_get c i)
+          done;
+          for i = 0 to depth do
+            check_bits
+              (Printf.sprintf "partial_sum %d" i)
+              (Turning.partial_sum t i)
+              (Turning.compiled_partial_sum c i)
+          done;
+          (* a second, stride-interleaved pass out of the cache *)
+          for i = 1 to depth / 3 do
+            let j = ((i * 29) mod depth) + 1 in
+            check_bits
+              (Printf.sprintf "interleaved %d" j)
+              (Turning.partial_sum t j)
+              (Turning.compiled_partial_sum c j)
+          done)
+        (Search_check.Gen.turning_group case))
+    (Search_check.Gen.cases ~seed:20180723 ~count:20)
+
+(* ------------------------------------------------------------------ *)
 (* Line_zigzag: the Section 2 closed formula *)
 
 let test_lz_pair_visit_matches_formula () =
@@ -511,6 +569,11 @@ let () =
           tc "scale" `Quick test_turning_scale;
           tc "negative rejected" `Quick test_turning_negative_rejected;
           tc "map indices" `Quick test_turning_map_indices;
+          tc "compiled basic" `Quick test_compiled_basic;
+          tc "compiled negative rejected" `Quick
+            test_compiled_negative_rejected;
+          tc "compiled = lazy (generated)" `Quick
+            test_compiled_matches_lazy_generated;
         ] );
       ( "line_zigzag",
         [
