@@ -13,7 +13,17 @@
      { "bench": "kernels", "jobs": 1,
        "kernels": [ { "name": "...",
                       "baseline_ns": ..., "candidate_ns": ...,
-                      "speedup": ... }, ... ] }
+                      "speedup": ... }, ... ],
+       "gc": [ { "name": "...", "minor_words_per_op": ... }, ... ] }
+
+   The "gc" section is the dynamic half of the hot-path allocation
+   contract: every kernel lint.budget pins at zero allocation sites is
+   measured with a Gc.minor_words meter, amortised per inner operation
+   (candidate scanned, prefix element, flat leg slot), and the run
+   fails if a statically-zero kernel allocates (>= 0.5 minor words per
+   op — float-returning kernels legitimately pay the one 2-word ABI
+   return box per *call*, which amortises to ~0 per op; a per-op box
+   or closure shows up as >= 2).
 
    The benchmark compares steady-state evaluation: both paths are
    warmed first, so the lazy side pays its per-access mutex + hashtable
@@ -27,6 +37,7 @@ let quota = ref 0.5
 let out_path = ref "BENCH_kernels.json"
 let history_path = ref (Filename.concat "results" "bench_history.jsonl")
 let no_history = ref false
+let budget_path = ref "lint.budget"
 
 (* Mean ns/run of [f], measured in doubling batches until [quota]
    seconds of measurement have accumulated.  [f] is warmed once before
@@ -125,6 +136,107 @@ let grid_batch () =
     candidate_ns = time_ns ~quota:!quota (run 16);
   }
 
+(* --- Gc cross-check of the lint.budget zero-alloc kernels ----------- *)
+
+type gc_result = { gname : string; words_per_op : float }
+
+(* Minor words per inner operation: warm once, run [runs] repetitions,
+   read the minor-words counter around the whole loop (the counter
+   call itself allocates its boxed float result — once, outside the
+   measured window). *)
+let minor_words_per_op ~ops ~runs f =
+  ignore (Sys.opaque_identity (f ()));
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int runs /. float_of_int ops
+
+let gc_compiled_scan () =
+  let p = FS.Params.line ~k:3 ~f:1 in
+  let strat = FS.Mray_exponential.make p in
+  let horizon = 256. *. 50. in
+  let flats =
+    Array.map
+      (fun tr -> FS.Trajectory.flatten (FS.Trajectory.compile tr) ~horizon)
+      (FS.Mray_exponential.itineraries strat)
+  in
+  let depths =
+    Array.init 2 (fun _ -> Array.init 64 (fun i -> 1. +. (float_of_int i /. 2.)))
+  in
+  let k = Array.length flats in
+  let times = Array.make k infinity in
+  let out = [| neg_infinity; 0.; 0. |] in
+  let ops = Array.fold_left (fun acc a -> acc + Array.length a) 0 depths in
+  {
+    gname = "Adversary.compiled_scan";
+    words_per_op =
+      minor_words_per_op ~ops ~runs:500 (fun () ->
+          FS.Adversary.compiled_scan ~flats ~depths ~times ~f:1 ~k ~horizon
+            ~out);
+  }
+
+let gc_prefix_walk () =
+  let p = FS.Params.line ~k:3 ~f:1 in
+  let turns = (FS.Orc_cover.of_mray_group (FS.Mray_exponential.make p)).(0) in
+  let depth = 512 in
+  let c = FS.Turning.compile ~hint:depth turns in
+  ignore (FS.Turning.compiled_partial_sum c depth);
+  {
+    gname = "Turning.compiled_prefix_walk";
+    words_per_op =
+      minor_words_per_op ~ops:depth ~runs:2000 (fun () ->
+          FS.Turning.compiled_prefix_walk c depth);
+  }
+
+let gc_flat_first_visit () =
+  let p = FS.Params.line ~k:3 ~f:1 in
+  let strat = FS.Mray_exponential.make p in
+  let horizon = 500. in
+  let tr = FS.Trajectory.compile (FS.Mray_exponential.itineraries strat).(0) in
+  let fl = FS.Trajectory.flatten tr ~horizon in
+  let ops = Array.length fl.FS.Trajectory.flat_starts in
+  {
+    gname = "Trajectory.flat_first_visit";
+    words_per_op =
+      minor_words_per_op ~ops ~runs:20000 (fun () ->
+          FS.Trajectory.flat_first_visit fl ~ray:0 ~dist:123.4 ~horizon);
+  }
+
+(* The static contract drives the dynamic check: every lint.budget
+   entry pinned at zero must have a meter here, and must measure ~0.
+   A zero-budget kernel without a measurement fails the run — adding a
+   kernel to the budget file obliges wiring a meter for it. *)
+let gc_check results =
+  match Search_analysis.Budget.load !budget_path with
+  | Error msg ->
+      Printf.eprintf "kernels.exe: %s\n" msg;
+      exit 2
+  | Ok budget ->
+      let failures = ref 0 in
+      List.iter
+        (fun (name, count, _line) ->
+          if count = 0 then
+            match List.find_opt (fun g -> String.equal g.gname name) results with
+            | None ->
+                incr failures;
+                Printf.eprintf
+                  "kernels.exe: %s is budgeted zero-alloc in %s but has no \
+                   Gc meter in bench/kernels.ml\n"
+                  name !budget_path
+            | Some g ->
+                if g.words_per_op >= 0.5 then begin
+                  incr failures;
+                  Printf.eprintf
+                    "kernels.exe: %s is budgeted zero-alloc but allocates \
+                     %.2f minor words per op\n"
+                    name g.words_per_op
+                end)
+        (Search_analysis.Budget.entries_located budget);
+      !failures = 0
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -143,6 +255,10 @@ let () =
       ( "--no-history",
         Arg.Set no_history,
         "  skip the trend-history append (CI uses the artifact instead)" );
+      ( "--budget",
+        Arg.Set_string budget_path,
+        "FILE  lint.budget to cross-check Gc meters against (default \
+         lint.budget)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     "kernels.exe [--quota S] [--out FILE]";
@@ -151,6 +267,9 @@ let () =
     exit 2
   end;
   let results = [ turning_prefix (); adversary_scan (); grid_batch () ] in
+  let gc_results =
+    [ gc_compiled_scan (); gc_prefix_walk (); gc_flat_first_visit () ]
+  in
   let json =
     FS.Json.Assoc
       [
@@ -168,6 +287,16 @@ let () =
                      ("speedup", FS.Json.Number (speedup r));
                    ])
                results) );
+        ( "gc",
+          FS.Json.List
+            (List.map
+               (fun g ->
+                 FS.Json.Assoc
+                   [
+                     ("name", FS.Json.String g.gname);
+                     ("minor_words_per_op", FS.Json.Number g.words_per_op);
+                   ])
+               gc_results) );
       ]
   in
   let oc = open_out !out_path in
@@ -185,6 +314,14 @@ let () =
           ~experiment:(r.name ^ "/candidate")
           ~seconds:(r.candidate_ns /. 1e9))
       results;
+    (* the trend line abuses the seconds column for minor words/op:
+       what matters is that a regression shows as a jump in the series *)
+    List.iter
+      (fun g ->
+        FS.Metrics.record metrics
+          ~experiment:("gc/" ^ g.gname)
+          ~seconds:g.words_per_op)
+      gc_results;
     (try Unix.mkdir (Filename.dirname !history_path) 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     FS.Metrics.append_history metrics ~path:!history_path ~run:"kernels"
@@ -194,4 +331,9 @@ let () =
       Printf.printf "%-32s baseline %10.1f ns   compiled %10.1f ns   %.2fx\n"
         r.name r.baseline_ns r.candidate_ns (speedup r))
     results;
-  Printf.printf "(report written to %s)\n" !out_path
+  List.iter
+    (fun g ->
+      Printf.printf "%-32s %.3f minor words/op\n" g.gname g.words_per_op)
+    gc_results;
+  Printf.printf "(report written to %s)\n" !out_path;
+  if not (gc_check gc_results) then exit 1

@@ -799,17 +799,27 @@ let deep_arg =
   in
   Arg.(value & flag & info [ "deep" ] ~doc)
 
+let hotpath_arg =
+  let doc =
+    "Also run the hot-path performance analyses over the .cmt artefacts: \
+     allocation budgets for [@hot] roots (checked against lint.budget) \
+     and blocking-call detection from [@event_loop] select loops.  \
+     Build first: $(b,dune build @all)."
+  in
+  Arg.(value & flag & info [ "hotpath" ] ~doc)
+
 let strict_arg =
   let doc =
-    "Fail (exit 1) when lint.allow contains stale entries — audited \
-     exceptions that no longer match any finding."
+    "Fail (exit 1) when lint.allow or lint.budget contains stale \
+     entries — audited exceptions that no longer match any finding or \
+     [@hot] root."
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
 (* Exit codes follow the CLI-wide contract: 0 clean, 1 verified finding
-   (or, under --strict, a stale allowlist entry), 2 usage, 3 internal
-   (the tree itself could not be parsed/loaded). *)
-let lint_run root format rules deep strict jobs =
+   (or, under --strict, a stale allowlist/budget entry), 2 usage, 3
+   internal (the tree itself could not be parsed/loaded). *)
+let lint_run root format rules deep hotpath strict jobs =
   if not (check_jobs jobs) then exit_usage
   else
     let module A = FS.Analysis in
@@ -824,12 +834,19 @@ let lint_run root format rules deep strict jobs =
         0
     | _ -> (
         let rules = Option.map (String.split_on_char ',') rules in
-        match A.Driver.load_allow ~root with
+        match
+          let ( let* ) = Result.bind in
+          let* allow = A.Driver.load_allow ~root in
+          let* budget = A.Driver.load_budget ~root in
+          Ok (allow, budget)
+        with
         | Error msg ->
             Format.eprintf "lint: %s@." msg;
             exit_usage
-        | Ok allow -> (
-            match A.Driver.run ?jobs ?rules ~deep ~allow ~root () with
+        | Ok (allow, budget) -> (
+            match
+              A.Driver.run ?jobs ?rules ~deep ~hotpath ~allow ~budget ~root ()
+            with
             | exception Invalid_argument msg ->
                 Format.eprintf "lint: %s@." msg;
                 exit_usage
@@ -845,13 +862,14 @@ let lint_cmd =
   let doc =
     "Determinism & numeric-safety lint over lib/, bin/, bench/ and test/ \
      (exit 1 on any finding not suppressed by lint.allow; with --deep, \
-     also the typed interprocedural analyses)."
+     also the typed interprocedural analyses; with --hotpath, the \
+     hot-path allocation/blocking analyses)."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
       const lint_run $ root_arg $ format_arg $ rules_arg $ deep_arg
-      $ strict_arg $ jobs_arg)
+      $ hotpath_arg $ strict_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)

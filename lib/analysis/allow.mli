@@ -32,3 +32,12 @@ val entries : t -> (string * string) list
 val entries_located : t -> (string * string * int) list
 (** Like {!entries} with each entry's [lint.allow] line number — the
     stale-entry report points back at the line to delete. *)
+
+val stale :
+  t ->
+  in_scope:(string -> bool) ->
+  findings:Finding.t list ->
+  (string * string * int) list
+(** Entries whose rule satisfies [in_scope] yet matched no finding in
+    [findings] (pre-suppression): [(rule, path, line)].  The single
+    staleness definition shared by every entry family. *)

@@ -1,0 +1,83 @@
+(* The per-function allocation budget file (lint.budget).
+
+   One line per [@hot] root: '<display-name> <count>', where the name
+   is the human form of the def ("Adversary.compiled_scan") and the
+   count is the number of statically reachable allocation sites the
+   root is allowed.  Kernels carry 0; warm-path functions that allocate
+   on cache growth carry an audited exact count with a justifying
+   comment.  A root with no entry gets the strictest default: 0.
+
+   Same file discipline as lint.allow: '#' comments, staleness is
+   detected (an entry naming no current [@hot] root), and parse errors
+   are reported with the offending line. *)
+
+type entry = { bname : string; bcount : int; bline : int }
+type t = { items : entry list }
+
+let empty = { items = [] }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok { items = List.rev acc }
+    | line :: rest -> (
+        match split_words (strip_comment line) with
+        | [] -> go (lineno + 1) acc rest
+        | [ bname; count ] -> (
+            match int_of_string_opt count with
+            | Some bcount when bcount >= 0 ->
+                go (lineno + 1) ({ bname; bcount; bline = lineno } :: acc) rest
+            | Some _ ->
+                Error
+                  (Printf.sprintf
+                     "lint.budget:%d: budget for %s must be >= 0" lineno bname)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "lint.budget:%d: expected an integer budget, got %S"
+                     lineno count))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "lint.budget:%d: expected '<function> <count>' (plus \
+                  optional # comment), got %S"
+                 lineno (String.trim line)))
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse contents
+
+let find t name =
+  List.find_map
+    (fun e -> if String.equal e.bname name then Some e.bcount else None)
+    t.items
+
+let entries_located t = List.map (fun e -> (e.bname, e.bcount, e.bline)) t.items
+
+(* entries naming no live [@hot] root are stale, exactly like an
+   allowlist entry matching no finding *)
+let stale t ~roots =
+  List.filter_map
+    (fun e ->
+      if List.exists (String.equal e.bname) roots then None
+      else Some (e.bname, e.bline))
+    t.items

@@ -43,6 +43,20 @@ type cell = {
   cell_loc : Location.t;
 }
 
+type alloc_kind =
+  | Closure
+  | Partial
+  | Tuple
+  | Record
+  | Variant
+  | Array_lit
+  | Lazy_block
+  | Boxed_float of string
+  | Alloc_call of string
+
+type alloc = { akind : alloc_kind; aloc : Location.t }
+type hcall = { hname : string; hloc : Location.t }
+
 type def = {
   name : string;
   display : string;
@@ -51,7 +65,12 @@ type def = {
   refs : reference list;
   mutations : mutation list;
   protects : protect_event list;
+  allocs : alloc list;
+  hcalls : hcall list;
   pool_entry : bool;
+  hot : bool;
+  event_loop : bool;
+  nonblocking : bool;
 }
 
 type summary = {
@@ -123,6 +142,76 @@ let cell_ctor = function
       Some Container
   | _ -> None
 
+let alloc_kind_to_string = function
+  | Closure -> "closure allocation"
+  | Partial -> "partial application (closure allocation)"
+  | Tuple -> "tuple allocation"
+  | Record -> "record allocation"
+  | Variant -> "variant allocation"
+  | Array_lit -> "array literal allocation"
+  | Lazy_block -> "lazy block allocation"
+  | Boxed_float what -> what
+  | Alloc_call fn -> Printf.sprintf "allocating call to %s" fn
+
+(* Stdlib entry points with no def in the graph that are known to
+   allocate on every call.  The in-tree half of the story needs no
+   table: the hot traversal walks into those defs and sees their own
+   allocation events. *)
+let alloc_stdlib =
+  [
+    "ref"; "^"; "@";
+    "string_of_int"; "string_of_float"; "float_of_string"; "int_of_string";
+    "Array.make"; "Array.init"; "Array.create_float"; "Array.append";
+    "Array.sub"; "Array.copy"; "Array.of_list"; "Array.to_list";
+    "Array.concat"; "Array.map"; "Array.mapi"; "Array.map2"; "Array.split";
+    "Array.combine"; "Array.to_seq"; "Array.to_seqi"; "Array.of_seq";
+    "List.init"; "List.map"; "List.mapi"; "List.map2"; "List.rev";
+    "List.rev_map"; "List.append"; "List.concat"; "List.flatten";
+    "List.concat_map"; "List.filter"; "List.filteri"; "List.filter_map";
+    "List.partition"; "List.split"; "List.combine"; "List.sort";
+    "List.stable_sort"; "List.fast_sort"; "List.sort_uniq"; "List.cons";
+    "List.of_seq"; "List.to_seq";
+    "String.make"; "String.init"; "String.sub"; "String.concat";
+    "String.cat"; "String.map"; "String.mapi"; "String.split_on_char";
+    "String.trim"; "String.uppercase_ascii"; "String.lowercase_ascii";
+    "String.to_seq"; "String.of_seq";
+    "Bytes.create"; "Bytes.make"; "Bytes.init"; "Bytes.sub"; "Bytes.copy";
+    "Bytes.of_string"; "Bytes.to_string"; "Bytes.extend"; "Bytes.cat";
+    "Printf.sprintf"; "Printf.printf"; "Printf.eprintf"; "Printf.fprintf";
+    "Format.asprintf"; "Format.sprintf"; "Format.fprintf"; "Format.printf";
+    "Buffer.create"; "Buffer.contents"; "Buffer.to_bytes";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_substring"; "Buffer.add_buffer";
+    "Hashtbl.create"; "Hashtbl.copy"; "Hashtbl.add"; "Hashtbl.replace";
+    "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.of_seq";
+    "Queue.create"; "Queue.push"; "Queue.add"; "Queue.transfer";
+    "Stack.create"; "Stack.push";
+    "Option.some"; "Option.map"; "Option.bind"; "Option.to_list";
+    "Option.to_result";
+    "Result.ok"; "Result.error"; "Result.map"; "Result.bind";
+    "Filename.concat"; "Filename.basename"; "Filename.dirname";
+  ]
+
+let is_alloc_stdlib n =
+  List.mem n alloc_stdlib || String.starts_with ~prefix:"Seq." n
+
+(* Raisers start cold paths: allocations (and calls) inside their
+   argument subtrees are precondition/diagnostic work that runs at most
+   once per raise, never per hot iteration, so the budget pass exempts
+   them.  Matched by suffix so both [invalid_arg] and a canonicalised
+   [Search_numerics__Search_error.invalid] hit. *)
+let raiser_suffixes =
+  [
+    "raise"; "raise_notrace"; "failwith"; "invalid_arg";
+    "Search_error.invalid"; "Search_error.raise_";
+  ]
+
+let is_raiser name =
+  let n = strip_stdlib name in
+  List.exists
+    (fun r -> String.equal n r || String.ends_with ~suffix:("." ^ r) n)
+    raiser_suffixes
+
 (* ------------------------------------------------------------------ *)
 (* per-unit extraction                                                 *)
 
@@ -130,6 +219,8 @@ type acc = {
   mutable a_refs : reference list;
   mutable a_mutations : mutation list;
   mutable a_protects : protect_event list;
+  mutable a_allocs : alloc list;
+  mutable a_hcalls : hcall list;
 }
 
 let empty_summary u =
@@ -170,12 +261,138 @@ let summarize (u : Cmt_loader.unit_info) =
          and [Tstr_eval] items — the natural roots of test binaries *)
       let init_acc = ref None in
       let init_name = unit_name ^ ".(init)" in
-      let fresh_acc () = { a_refs = []; a_mutations = []; a_protects = [] } in
+      let fresh_acc () =
+        {
+          a_refs = [];
+          a_mutations = [];
+          a_protects = [];
+          a_allocs = [];
+          a_hcalls = [];
+        }
+      in
       let held = ref [] in
       let current = ref (fresh_acc ()) in
+      (* > 0 while walking the argument subtree of a raiser: cold-path
+         allocations and calls are exempt from the hot-path budget *)
+      let raise_depth = ref 0 in
+      let record_alloc aloc akind =
+        if !raise_depth = 0 then
+          !current.a_allocs <- { akind; aloc } :: !current.a_allocs
+      in
+      let record_hcall hloc hname =
+        if !raise_depth = 0 then
+          !current.a_hcalls <- { hname; hloc } :: !current.a_hcalls
+      in
+      let is_float_ty ty =
+        match Types.get_desc ty with
+        | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+        | _ -> false
+      in
+      let is_immediate_ty ty =
+        match Types.get_desc ty with
+        | Types.Tconstr (p, [], _) ->
+            Path.same p Predef.path_int || Path.same p Predef.path_float
+            || Path.same p Predef.path_bool
+            || Path.same p Predef.path_char
+        | _ -> false
+      in
+      (* the declared (generic) argument types of a function scheme, up
+         to [n] arrows deep — Tvars in here are polymorphic formals *)
+      let arrow_formals ty n =
+        let rec go ty n acc =
+          if n = 0 then List.rev acc
+          else
+            match Types.get_desc ty with
+            | Types.Tarrow (_, targ, tret, _) -> go tret (n - 1) (targ :: acc)
+            | _ -> List.rev acc
+        in
+        go ty n []
+      in
+      let rec contains_tvar ty =
+        match Types.get_desc ty with
+        | Types.Tvar _ -> true
+        | Types.Tarrow (_, a, b, _) -> contains_tvar a || contains_tvar b
+        | Types.Tconstr (_, args, _) -> List.exists contains_tvar args
+        | Types.Ttuple ts -> List.exists contains_tvar ts
+        | _ -> false
+      in
+      let is_arrow ty =
+        match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+      in
+      (* does unifying [formal] (generic) with [actual] (instantiated)
+         pin a polymorphic variable to float? *)
+      let rec instantiates_float formal actual =
+        match (Types.get_desc formal, Types.get_desc actual) with
+        | Types.Tvar _, _ -> is_float_ty actual
+        | Types.Tconstr (p, fargs, _), Types.Tconstr (q, aargs, _)
+          when Path.same p q && List.length fargs = List.length aargs ->
+            List.exists2 instantiates_float fargs aargs
+        | Types.Ttuple fs, Types.Ttuple as_
+          when List.length fs = List.length as_ ->
+            List.exists2 instantiates_float fs as_
+        | _ -> false
+      in
       (* expression walker: records references, write-mutations and
          Mutex.protect nesting into [current], in context [held] *)
       let super = Tast_iterator.default_iterator in
+      (* [let x = ref init in body] where [x] holds an immediate/float
+         and every use of [x] in [body] is directly under [!]/[:=]/
+         [incr]/[decr]: ocamlopt unboxes the reference (no allocation),
+         so the budget pass must not count the [ref]. *)
+      let deref_ops = [ "!"; ":="; "incr"; "decr" ] in
+      let uses_only_deref id body =
+        let ok = ref true in
+        let expr self (e : Typedtree.expression) =
+          match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (Path.Pident i, _, _) when Ident.same i id ->
+              ok := false
+          | Typedtree.Texp_apply (fn, args) -> (
+              let deref =
+                match fn.Typedtree.exp_desc with
+                | Typedtree.Texp_ident (p, _, _) -> (
+                    match canon p with
+                    | Some n -> List.mem (strip_stdlib n) deref_ops
+                    | None -> false)
+                | _ -> false
+              in
+              match (deref, args) with
+              | ( true,
+                  ( _,
+                    Some
+                      {
+                        Typedtree.exp_desc =
+                          Typedtree.Texp_ident (Path.Pident i, _, _);
+                        _;
+                      } )
+                  :: rest )
+                when Ident.same i id ->
+                  List.iter
+                    (function _, Some a -> self.Tast_iterator.expr self a | _ -> ())
+                    rest
+              | _ -> super.Tast_iterator.expr self e)
+          | _ -> super.Tast_iterator.expr self e
+        in
+        let it = { super with expr } in
+        it.Tast_iterator.expr it body;
+        !ok
+      in
+      let unboxable_ref_binding (vb : Typedtree.value_binding) body =
+        match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+        | Typedtree.Tpat_var (id, _) -> (
+            match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+            | Typedtree.Texp_apply (fn, [ (_, Some init) ]) -> (
+                match fn.Typedtree.exp_desc with
+                | Typedtree.Texp_ident (p, _, _)
+                  when (match Option.map strip_stdlib (canon p) with
+                       | Some "ref" -> true
+                       | _ -> false)
+                       && is_immediate_ty init.Typedtree.exp_type
+                       && uses_only_deref id body ->
+                    Some init
+                | _ -> None)
+            | _ -> None)
+        | _ -> None
+      in
       let rec walk_expr self (e : Typedtree.expression) =
         match e.Typedtree.exp_desc with
         | Typedtree.Texp_ident (p, _, _) -> (
@@ -189,7 +406,7 @@ let summarize (u : Cmt_loader.unit_info) =
             let args =
               List.filter_map (function _, Some a -> Some a | _ -> None) args
             in
-            handle_app self fn args
+            handle_app self e fn args
         | Typedtree.Texp_setfield (tgt, _, _, v) ->
             (match tgt.Typedtree.exp_desc with
             | Typedtree.Texp_ident (p, _, _) -> (
@@ -207,8 +424,35 @@ let summarize (u : Cmt_loader.unit_info) =
             | _ -> ());
             self.Tast_iterator.expr self tgt;
             self.Tast_iterator.expr self v
+        | Typedtree.Texp_let (Asttypes.Nonrecursive, [ vb ], body)
+          when unboxable_ref_binding vb body <> None ->
+            (match unboxable_ref_binding vb body with
+            | Some init -> self.Tast_iterator.expr self init
+            | None -> assert false);
+            self.Tast_iterator.expr self body
+        | Typedtree.Texp_function _ ->
+            record_alloc e.Typedtree.exp_loc Closure;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_letop _ ->
+            record_alloc e.Typedtree.exp_loc Closure;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_tuple _ ->
+            record_alloc e.Typedtree.exp_loc Tuple;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_construct (_, _, args) when args <> [] ->
+            record_alloc e.Typedtree.exp_loc Variant;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_record _ ->
+            record_alloc e.Typedtree.exp_loc Record;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_array _ ->
+            record_alloc e.Typedtree.exp_loc Array_lit;
+            super.Tast_iterator.expr self e
+        | Typedtree.Texp_lazy _ ->
+            record_alloc e.Typedtree.exp_loc Lazy_block;
+            super.Tast_iterator.expr self e
         | _ -> super.Tast_iterator.expr self e
-      and handle_app self fn args =
+      and handle_app self app fn args =
         match fn.Typedtree.exp_desc with
         (* [Mutex.protect m @@ fun () -> ...] puts the partial
            application [Mutex.protect m] in the function position of
@@ -219,7 +463,7 @@ let summarize (u : Cmt_loader.unit_info) =
                 (function _, Some a -> Some a | _ -> None)
                 args'
             in
-            handle_app self fn' (args' @ args)
+            handle_app self app fn' (args' @ args)
         | _ -> (
         let fn_name =
           match fn.Typedtree.exp_desc with
@@ -228,8 +472,8 @@ let summarize (u : Cmt_loader.unit_info) =
         in
         match (Option.map strip_stdlib fn_name, args) with
         (* [f @@ x] and [x |> f] are applications of [f] to [x] *)
-        | Some "@@", [ f; x ] -> handle_app self f [ x ]
-        | Some "|>", [ x; f ] -> handle_app self f [ x ]
+        | Some "@@", [ f; x ] -> handle_app self app f [ x ]
+        | Some "|>", [ x; f ] -> handle_app self app f [ x ]
         | Some "Mutex.protect", [ m; body ] ->
             let lock =
               match m.Typedtree.exp_desc with
@@ -266,11 +510,100 @@ let summarize (u : Cmt_loader.unit_info) =
                     | None -> ())
                 | _ -> ())
             | _ -> ());
-            self.Tast_iterator.expr self fn;
-            List.iter (self.Tast_iterator.expr self) args)
+            (match fn_name with
+            | Some n when is_raiser n ->
+                (* cold path: the raiser's argument subtree is exempt
+                   from allocation and hot-call accounting *)
+                self.Tast_iterator.expr self fn;
+                incr raise_depth;
+                Fun.protect
+                  ~finally:(fun () -> decr raise_depth)
+                  (fun () -> List.iter (self.Tast_iterator.expr self) args)
+            | _ ->
+                (match fn_name with
+                | Some n -> record_hcall fn.Typedtree.exp_loc n
+                | None -> ());
+                (if is_arrow app.Typedtree.exp_type then
+                   (* under-application: the result closure is built *)
+                   record_alloc app.Typedtree.exp_loc Partial
+                 else
+                   match (fn.Typedtree.exp_desc, fn_stripped) with
+                   | _, Some n when is_alloc_stdlib n ->
+                       record_alloc app.Typedtree.exp_loc (Alloc_call n)
+                   | Typedtree.Texp_ident (_, _, vd), Some n
+                     when (match vd.Types.val_kind with
+                          | Types.Val_prim _ -> false
+                          | _ -> true) ->
+                       let disp = display_name n in
+                       if is_float_ty app.Typedtree.exp_type then
+                         record_alloc app.Typedtree.exp_loc
+                           (Boxed_float ("boxed float return of " ^ disp))
+                       else begin
+                         let formals =
+                           arrow_formals vd.Types.val_type (List.length args)
+                         in
+                         let rec zip fs xs =
+                           match (fs, xs) with
+                           | f :: fs', (x : Typedtree.expression) :: xs' ->
+                               (f, x.Typedtree.exp_type) :: zip fs' xs'
+                           | _ -> []
+                         in
+                         let pairs = zip formals args in
+                         let bare_tvar ty =
+                           match Types.get_desc ty with
+                           | Types.Tvar _ -> true
+                           | _ -> false
+                         in
+                         if
+                           List.exists
+                             (fun (f, a) -> bare_tvar f && is_float_ty a)
+                             pairs
+                         then
+                           record_alloc app.Typedtree.exp_loc
+                             (Boxed_float
+                                ("float boxed at polymorphic argument of "
+                               ^ disp))
+                         else if
+                           List.exists
+                             (fun f -> is_arrow f && contains_tvar f)
+                             formals
+                           && List.exists
+                                (fun (f, a) -> instantiates_float f a)
+                                pairs
+                         then
+                           record_alloc app.Typedtree.exp_loc
+                             (Boxed_float
+                                ("polymorphic higher-order call to " ^ disp
+                               ^ " instantiated at float"))
+                       end
+                   | _ -> ());
+                self.Tast_iterator.expr self fn;
+                List.iter (self.Tast_iterator.expr self) args))
       in
       let it = { super with expr = walk_expr } in
-      let finish_def ~prefix ~name ~dloc ~pool_entry acc =
+      (* Walk a binding's expression, peeling the outermost chain of
+         single-case lambdas first: those are the def's own formal
+         parameters (its static closure), not per-call allocations. *)
+      let rec walk_def_body (e : Typedtree.expression) =
+        match e.Typedtree.exp_desc with
+        | Typedtree.Texp_function { cases = [ c ]; _ }
+          when c.Typedtree.c_guard = None ->
+            walk_def_body c.Typedtree.c_rhs
+        | Typedtree.Texp_function { cases; _ } ->
+            List.iter
+              (fun c ->
+                Option.iter (it.Tast_iterator.expr it) c.Typedtree.c_guard;
+                it.Tast_iterator.expr it c.Typedtree.c_rhs)
+              cases
+        | _ -> it.Tast_iterator.expr it e
+      in
+      let finish_def ~prefix ~name ~dloc ~attrs acc =
+        let has a =
+          List.exists
+            (fun (at : Parsetree.attribute) ->
+              String.equal at.Parsetree.attr_name.Location.txt a)
+            attrs
+        in
         defs :=
           {
             name = prefix ^ "." ^ name;
@@ -280,7 +613,12 @@ let summarize (u : Cmt_loader.unit_info) =
             refs = List.rev acc.a_refs;
             mutations = List.rev acc.a_mutations;
             protects = List.rev acc.a_protects;
-            pool_entry;
+            allocs = List.rev acc.a_allocs;
+            hcalls = List.rev acc.a_hcalls;
+            pool_entry = has "pool_entry";
+            hot = has "hot";
+            event_loop = has "event_loop";
+            nonblocking = has "nonblocking";
           }
           :: !defs
       in
@@ -294,12 +632,6 @@ let summarize (u : Cmt_loader.unit_info) =
         | Typedtree.Tpat_record (fields, _) ->
             List.concat_map (fun (_, _, p) -> pat_vars p) fields
         | _ -> []
-      in
-      let has_pool_entry attrs =
-        List.exists
-          (fun (a : Parsetree.attribute) ->
-            String.equal a.Parsetree.attr_name.Location.txt "pool_entry")
-          attrs
       in
       let rec walk_items prefix items =
         List.iter (walk_item prefix) items
@@ -343,10 +675,9 @@ let summarize (u : Cmt_loader.unit_info) =
                     ignore id0;
                     let acc = fresh_acc () in
                     current := acc;
-                    it.Tast_iterator.expr it vb.Typedtree.vb_expr;
+                    walk_def_body vb.Typedtree.vb_expr;
                     finish_def ~prefix ~name:name0 ~dloc:vb.Typedtree.vb_loc
-                      ~pool_entry:(has_pool_entry vb.Typedtree.vb_attributes)
-                      acc)
+                      ~attrs:vb.Typedtree.vb_attributes acc)
               vbs
         | Typedtree.Tstr_eval (e, _) ->
             let acc =
@@ -414,7 +745,12 @@ let summarize (u : Cmt_loader.unit_info) =
               refs = List.rev acc.a_refs;
               mutations = List.rev acc.a_mutations;
               protects = List.rev acc.a_protects;
+              allocs = List.rev acc.a_allocs;
+              hcalls = List.rev acc.a_hcalls;
               pool_entry = false;
+              hot = false;
+              event_loop = false;
+              nonblocking = false;
             }
             :: !defs
       | None -> ());
@@ -517,6 +853,8 @@ let build summaries =
                   (fun p -> { p with lock = resolve p.lock;
                               outer = List.map resolve p.outer })
                   d.protects;
+              hcalls =
+                List.map (fun h -> { h with hname = resolve h.hname }) d.hcalls;
             }
           in
           if not (Hashtbl.mem defs d.name) then Hashtbl.add defs d.name d;

@@ -35,6 +35,29 @@ type cell = {
   cell_loc : Location.t;
 }
 
+type alloc_kind =
+  | Closure  (** a lambda evaluated inside the body (not a formal) *)
+  | Partial  (** under-application: the result closure is built *)
+  | Tuple
+  | Record
+  | Variant  (** non-constant constructor, including [::] *)
+  | Array_lit
+  | Lazy_block
+  | Boxed_float of string  (** boxed return / polymorphic instantiation *)
+  | Alloc_call of string  (** known-allocating stdlib call, no def in graph *)
+
+type alloc = { akind : alloc_kind; aloc : Location.t }
+(** One static allocation site.  Sites inside raiser argument subtrees
+    ([raise]/[failwith]/[invalid_arg]/[Search_error.*]) are cold-path
+    and never recorded; [let x = ref v in ...] with an immediate [v]
+    used only via [!]/[:=]/[incr]/[decr] is compiled unboxed and not
+    recorded either. *)
+
+type hcall = { hname : string; hloc : Location.t }
+(** A call site: an ident in function position after [@@]/[|>]
+    flattening.  The interprocedural hot-path traversals follow these,
+    not plain {!reference}s — referencing a value does not execute it. *)
+
 type def = {
   name : string;
   display : string;  (** human form, wrapper mangling stripped *)
@@ -43,7 +66,12 @@ type def = {
   refs : reference list;
   mutations : mutation list;
   protects : protect_event list;
+  allocs : alloc list;
+  hcalls : hcall list;
   pool_entry : bool;  (** carries [[@pool_entry]] *)
+  hot : bool;  (** carries [[@hot]]: an allocation-budget root *)
+  event_loop : bool;  (** carries [[@event_loop]]: a blocking-rule root *)
+  nonblocking : bool;  (** carries [[@nonblocking]]: audited barrier *)
 }
 
 type summary = {
@@ -73,6 +101,9 @@ val build : summary list -> t
 
 val display_name : string -> string
 (** [display_name "Search_exec__Pool.async" = "Pool.async"]. *)
+
+val alloc_kind_to_string : alloc_kind -> string
+(** Human description, e.g. ["closure allocation"]. *)
 
 val strip_stdlib : string -> string
 (** Drop one leading ["Stdlib."], if present. *)

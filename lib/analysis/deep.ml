@@ -1,6 +1,8 @@
-(* The deep (typed, interprocedural) analysis family: load cmt
-   artefacts, extract per-unit summaries in parallel, build the global
-   call graph, run {!Taint} and {!Lockset}.
+(* The cmt-backed analysis families: load artefacts, extract per-unit
+   summaries in parallel, build the global call graph, then run
+   whichever passes were requested — {!Taint} + {!Lockset} under
+   [~deep], {!Hotpath} under [~hotpath].  The graph is built once and
+   shared.
 
    The same determinism contract as the syntactic pass: discovery is
    sorted, loads are serialised (compiler-libs unmarshalling), the
@@ -10,7 +12,7 @@
 
 module Par = Search_exec.Par
 
-let collect ~pool ~audited ~dirs ~root =
+let collect ~pool ~deep ~hotpath ~audited ~budget ~dirs ~root =
   let build_dir = Cmt_loader.build_dir ~root in
   let paths = Cmt_loader.discover ~build_dir ~dirs in
   let loaded = Par.parallel_map pool paths ~f:(Cmt_loader.load ~build_dir) in
@@ -23,7 +25,13 @@ let collect ~pool ~audited ~dirs ~root =
   in
   let summaries = Par.parallel_map pool units ~f:Callgraph.summarize in
   let graph = Callgraph.build summaries in
-  let findings =
-    load_findings @ Taint.findings ~audited graph @ Lockset.findings graph
+  let deep_findings =
+    if deep then Taint.findings ~audited graph @ Lockset.findings graph
+    else []
   in
-  (findings, List.length units)
+  let hot_findings, budget_stale =
+    if hotpath then
+      (Hotpath.findings ~budget graph, Hotpath.stale_budget ~budget graph)
+    else ([], [])
+  in
+  (load_findings @ deep_findings @ hot_findings, List.length units, budget_stale)

@@ -1,16 +1,23 @@
-(** Orchestration of the typed, interprocedural analysis family
-    ({!Cmt_loader} → {!Callgraph} → {!Taint} + {!Lockset}). *)
+(** Orchestration of the cmt-backed analysis families
+    ({!Cmt_loader} → {!Callgraph} → {!Taint} + {!Lockset} under
+    [~deep], {!Hotpath} under [~hotpath]; the call graph is built once
+    and shared). *)
 
 val collect :
   pool:Search_exec.Pool.t ->
+  deep:bool ->
+  hotpath:bool ->
   audited:(string -> bool) ->
+  budget:Budget.t ->
   dirs:string list ->
   root:string ->
-  (Finding.t list * int)
+  (Finding.t list * int * (string * int) list)
 (** Analyse every [.cmt] under the build dir for [root] restricted to
     [dirs]; [audited file] is the taint-barrier predicate (the
-    [deep-nondet] allowlist).  Returns unsorted findings — including
-    [cmt-load] failures, which the exit-code contract treats as
-    internal errors — and the number of units analysed (0 means dune
-    has not built the tree).  Byte-identical results at any pool
+    [deep-nondet] allowlist), [budget] the hot-path allocation budget
+    ([lint.budget]).  Returns unsorted findings — including [cmt-load]
+    failures, which the exit-code contract treats as internal errors —
+    the number of units analysed (0 means dune has not built the
+    tree), and the stale [lint.budget] entries ([(name, line)]; empty
+    when [hotpath] is off).  Byte-identical results at any pool
     size. *)

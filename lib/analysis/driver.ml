@@ -9,11 +9,20 @@ type outcome = {
   files : int;
   units : int;
   stale : (string * string * int) list;
+  budget_stale : (string * int) list;
 }
 
-(* Rules that only fire under --deep: their allowlist entries are out
-   of scope for staleness when the deep pass did not run. *)
-let deep_rule_ids = [ "deep-nondet"; "deep-race"; "deep-lock-order"; "cmt-load" ]
+(* Rules that only fire under --deep / --hotpath: their allowlist
+   entries are out of scope for staleness when the owning pass did not
+   run.  [cmt-load] belongs to both (either pass loads artefacts). *)
+let deep_rule_ids = [ "deep-nondet"; "deep-race"; "deep-lock-order" ]
+let hotpath_rule_ids = [ "hotpath-alloc"; "hotpath-blocking" ]
+
+let rule_in_scope ~deep ~hotpath rule =
+  if List.mem rule deep_rule_ids then deep
+  else if List.mem rule hotpath_rule_ids then hotpath
+  else if String.equal rule "cmt-load" then deep || hotpath
+  else true
 
 (* Findings that mean the analysis itself could not do its job; the
    exit-code contract reports them as internal (3), not as lint
@@ -23,6 +32,7 @@ let internal_rule_ids = [ "parse"; "cmt-load" ]
 let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
 
 let load_allow ~root = Allow.load (Filename.concat root "lint.allow")
+let load_budget ~root = Budget.load (Filename.concat root "lint.budget")
 
 let validate_rules = function
   | None -> ()
@@ -48,8 +58,8 @@ let lint_string ?rules ?(has_mli = true) ~path contents =
   | Error finding -> [ finding ]
   | Ok src -> List.sort_uniq Finding.compare (check_source ?rules ~has_mli src)
 
-let run ?jobs ?rules ?(deep = false) ?(dirs = default_dirs)
-    ?(allow = Allow.empty) ~root () =
+let run ?jobs ?rules ?(deep = false) ?(hotpath = false) ?(dirs = default_dirs)
+    ?(allow = Allow.empty) ?(budget = Budget.empty) ~root () =
   validate_rules rules;
   let paths = Source.discover ~root ~dirs in
   let mli_present =
@@ -65,17 +75,19 @@ let run ?jobs ?rules ?(deep = false) ?(dirs = default_dirs)
     | Error finding -> [ finding ]
     | Ok src -> check_source ?rules ~has_mli src
   in
-  let per_file, deep_findings, units =
+  let per_file, cmt_findings, units, budget_stale =
     Pool.with_pool ?jobs @@ fun pool ->
     let per_file = Par.parallel_map pool paths ~f:check in
-    if deep then
+    if deep || hotpath then
       let audited file = Allow.permits allow ~rule:"deep-nondet" ~file in
-      let dfs, units = Deep.collect ~pool ~audited ~dirs ~root in
-      (per_file, dfs, units)
-    else (per_file, [], 0)
+      let dfs, units, budget_stale =
+        Deep.collect ~pool ~deep ~hotpath ~audited ~budget ~dirs ~root
+      in
+      (per_file, dfs, units, budget_stale)
+    else (per_file, [], 0, [])
   in
   let all =
-    List.sort_uniq Finding.compare (deep_findings @ List.concat per_file)
+    List.sort_uniq Finding.compare (cmt_findings @ List.concat per_file)
   in
   let kept, dropped =
     List.partition
@@ -83,19 +95,8 @@ let run ?jobs ?rules ?(deep = false) ?(dirs = default_dirs)
         not (Allow.permits allow ~rule:f.Finding.rule ~file:f.Finding.file))
       all
   in
-  (* an allowlist entry is stale when its rule was in scope for this
-     run and it matched no finding (kept or suppressed) *)
   let stale =
-    List.filter
-      (fun (rule, path, _line) ->
-        ((not (List.mem rule deep_rule_ids)) || deep)
-        && not
-             (List.exists
-                (fun f ->
-                  (String.equal rule "*" || String.equal rule f.Finding.rule)
-                  && String.equal path f.Finding.file)
-                all))
-      (Allow.entries_located allow)
+    Allow.stale allow ~in_scope:(rule_in_scope ~deep ~hotpath) ~findings:all
   in
   {
     findings = kept;
@@ -103,6 +104,7 @@ let run ?jobs ?rules ?(deep = false) ?(dirs = default_dirs)
     files = List.length paths;
     units;
     stale;
+    budget_stale;
   }
 
 let exit_code ?(strict = false) o =
@@ -112,7 +114,7 @@ let exit_code ?(strict = false) o =
       o.findings
   then 3
   else if o.findings <> [] then 1
-  else if strict && o.stale <> [] then 1
+  else if strict && (o.stale <> [] || o.budget_stale <> []) then 1
   else 0
 
 let summary o =
@@ -131,9 +133,17 @@ let summary o =
     o.files
     (if o.units > 0 then Printf.sprintf " + %d compiled units" o.units else "")
     o.suppressed
-    (match List.length o.stale with
+    ((match List.length o.stale with
+     | 0 -> ""
+     | n ->
+         Printf.sprintf "; %d stale allow entr%s" n
+           (if n = 1 then "y" else "ies"))
+    ^
+    match List.length o.budget_stale with
     | 0 -> ""
-    | n -> Printf.sprintf "; %d stale allow entr%s" n (if n = 1 then "y" else "ies"))
+    | n ->
+        Printf.sprintf "; %d stale budget entr%s" n
+          (if n = 1 then "y" else "ies"))
 
 let render_text o =
   let buf = Buffer.create 1024 in
@@ -169,6 +179,13 @@ let render_text o =
            "stale allow entry (lint.allow:%d): '%s %s' matches no finding\n"
            line rule path))
     o.stale;
+  List.iter
+    (fun (name, line) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "stale budget entry (lint.budget:%d): '%s' matches no [@hot] root\n"
+           line name))
+    o.budget_stale;
   Buffer.add_string buf (summary o);
   Buffer.add_char buf '\n';
   Buffer.contents buf
@@ -192,23 +209,23 @@ let render_json o =
                       ("line", Json.Number (float_of_int line));
                     ])
                 o.stale) );
+         ( "budget_stale",
+           Json.List
+             (List.map
+                (fun (name, line) ->
+                  Json.Assoc
+                    [
+                      ("name", Json.String name);
+                      ("line", Json.Number (float_of_int line));
+                    ])
+                o.budget_stale) );
        ])
   ^ "\n"
 
 (* GitHub Actions workflow-command annotations: one ::error/::warning
    line per finding so CI findings attach to the PR diff inline.  The
-   data segment uses the documented %-escaping for newlines. *)
-let github_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '%' -> Buffer.add_string buf "%25"
-      | '\r' -> Buffer.add_string buf "%0D"
-      | '\n' -> Buffer.add_string buf "%0A"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+   data segment uses {!Finding.github_escape}. *)
+let github_escape = Finding.github_escape
 
 let render_github o =
   let buf = Buffer.create 1024 in
@@ -236,6 +253,14 @@ let render_github o =
               (Printf.sprintf "stale allow entry '%s %s' matches no finding"
                  rule path))))
     o.stale;
+  List.iter
+    (fun (name, line) ->
+      Buffer.add_string buf
+        (Printf.sprintf "::warning file=lint.budget,line=%d::%s\n" line
+           (github_escape
+              (Printf.sprintf
+                 "stale budget entry '%s' matches no [@hot] root" name))))
+    o.budget_stale;
   Buffer.add_string buf (summary o);
   Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -15,6 +15,9 @@ type outcome = {
   stale : (string * string * int) list;
       (** allow entries (rule, path, lint.allow line) in scope for this
           run that matched no finding *)
+  budget_stale : (string * int) list;
+      (** [lint.budget] entries (name, line) naming no current [@hot]
+          root (empty unless the hotpath pass ran) *)
 }
 
 val default_dirs : string list
@@ -23,12 +26,18 @@ val default_dirs : string list
 val load_allow : root:string -> (Allow.t, string) result
 (** Read [root/lint.allow] (missing file = empty allowlist). *)
 
+val load_budget : root:string -> (Budget.t, string) result
+(** Read [root/lint.budget] (missing file = every [@hot] root budgets
+    at zero). *)
+
 val run :
   ?jobs:int ->
   ?rules:string list ->
   ?deep:bool ->
+  ?hotpath:bool ->
   ?dirs:string list ->
   ?allow:Allow.t ->
+  ?budget:Budget.t ->
   root:string ->
   unit ->
   outcome
@@ -36,16 +45,19 @@ val run :
     (default {!default_dirs}).  [rules] restricts to the given rule
     ids ({!Rules.all} by default; unknown ids raise
     [Invalid_argument]).  [deep] (default false) additionally runs the
-    typed interprocedural family ({!Deep}) over the [.cmt] artefacts
-    dune emitted for the tree.  [jobs] sizes the {!Search_exec.Pool}
-    used to fan files (and cmt units) out across domains. *)
+    typed interprocedural family ({!Taint} + {!Lockset}); [hotpath]
+    (default false) the hot-path performance family ({!Hotpath},
+    checked against [budget]).  Either flag loads the [.cmt] artefacts
+    dune emitted for the tree; the call graph is built once and
+    shared.  [jobs] sizes the {!Search_exec.Pool} used to fan files
+    (and cmt units) out across domains. *)
 
 val exit_code : ?strict:bool -> outcome -> int
 (** The lint exit-code contract (same scheme as the CLI at large):
     0 clean / 1 verified finding / 3 internal — a [parse] or
     [cmt-load] finding means the tree itself could not be analysed.
-    With [strict], stale allowlist entries also exit 1.  (2 — usage —
-    is the argument parser's, not the driver's.) *)
+    With [strict], stale allowlist and budget entries also exit 1.
+    (2 — usage — is the argument parser's, not the driver's.) *)
 
 val lint_string :
   ?rules:string list -> ?has_mli:bool -> path:string -> string -> Finding.t list

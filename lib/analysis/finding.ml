@@ -87,3 +87,37 @@ let of_json j =
 
 let pp ppf t =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message
+
+(* GitHub Actions workflow-command data escaping (the documented
+   %-encoding).  One escaper for every renderer that emits ::error /
+   ::warning lines, so a finding message with '%' or newlines cannot
+   corrupt an annotation in one renderer and survive in another. *)
+let github_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let github_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if i + 2 < n && s.[i] = '%' then (
+        match String.sub s i 3 with
+        | "%25" -> Buffer.add_char buf '%'; go (i + 3)
+        | "%0D" -> Buffer.add_char buf '\r'; go (i + 3)
+        | "%0A" -> Buffer.add_char buf '\n'; go (i + 3)
+        | _ -> Buffer.add_char buf s.[i]; go (i + 1))
+      else (
+        Buffer.add_char buf s.[i];
+        go (i + 1))
+  in
+  go 0;
+  Buffer.contents buf

@@ -42,3 +42,11 @@ val of_json : Search_numerics.Json.t -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 (** [file:line:col: [rule] message] on one line. *)
+
+val github_escape : string -> string
+(** The GitHub Actions workflow-command data encoding ([%] → [%25],
+    [CR] → [%0D], [LF] → [%0A]) — the one escaper every [--format
+    github] renderer goes through. *)
+
+val github_unescape : string -> string
+(** Exact inverse of {!github_escape} on its image. *)

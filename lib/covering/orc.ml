@@ -13,7 +13,7 @@ module Interval1 = Search_numerics.Interval1
 (* Flat-array twin of [Orc_round.cover_intervals_within]: identical
    control flow and arithmetic order, so the collected intervals are
    bit-identical to the lazy loop's. *)
-let cover_intervals_within_compiled turns ~mu ~within:(lo, hi)
+let[@hot] cover_intervals_within_compiled turns ~mu ~within:(lo, hi)
     ~max_rounds () =
   let c = Turning.compile turns in
   let rec collect i acc =

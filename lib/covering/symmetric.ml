@@ -27,7 +27,8 @@ let cover_intervals_within_lazy turns ~lambda ~within:(lo, hi) ~max_rounds () =
    reads instead of mutex+hashtable probes.  The arithmetic (including
    the Kahan partial sums) is replayed in the identical order, so the
    collected intervals are bit-identical to the lazy loop's. *)
-let cover_intervals_within_compiled turns ~lambda ~within:(lo, hi) ~max_rounds
+let[@hot] cover_intervals_within_compiled turns ~lambda ~within:(lo, hi)
+    ~max_rounds
     () =
   let mu = mu_of_lambda lambda in
   let c = Turning.compile turns in

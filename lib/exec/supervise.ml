@@ -9,6 +9,7 @@ module Journal = Search_resilience.Journal
 type spec = {
   budget : Budget.t;
   retry : Retry.policy;
+  backoff : float -> unit;
   chaos : Chaos.t;
   cancel : Cancel.t option;
 }
@@ -17,6 +18,11 @@ let default =
   {
     budget = Budget.unlimited;
     retry = Retry.none;
+    (* cooperative, not a real sleep: supervised tasks run on pool
+       workers that the serve dispatch path awaits, so a sleeping
+       backoff would stall the event loop.  Batch callers that want
+       wall-clock backoff opt in with [Unix.sleepf]. *)
+    backoff = Retry.cooperative;
     chaos = Chaos.disabled;
     cancel = None;
   }
@@ -28,7 +34,7 @@ type 'b persist = {
 }
 
 let run_one spec ~task x f =
-  Retry.run ~policy:spec.retry ~task (fun ~attempt ->
+  Retry.run_with ~sleep:spec.backoff ~policy:spec.retry ~task (fun ~attempt ->
       (match spec.cancel with
       | Some c -> Cancel.check c ~task
       | None -> ());
@@ -46,8 +52,8 @@ let chunked n items =
   in
   loop [] [] 0 items
 
-let[@pool_entry] map pool ?(spec = default) ?persist ?(chunk = 1) ~task ~f
-    items =
+let[@pool_entry] [@hot] map pool ?(spec = default) ?persist ?(chunk = 1) ~task
+    ~f items =
   if chunk < 1 then invalid_arg "Supervise.map: chunk must be >= 1";
   let cached key =
     match persist with

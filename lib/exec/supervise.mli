@@ -18,13 +18,20 @@
 type spec = {
   budget : Search_resilience.Budget.t;
   retry : Search_resilience.Retry.policy;
+  backoff : float -> unit;
+      (** sleep primitive for retry backoff.  Tasks run on pool workers
+          that latency-sensitive callers (the serve dispatch path)
+          await, so the default is {!Search_resilience.Retry.cooperative}
+          — a processor yield, not a real sleep.  Batch callers that
+          want wall-clock backoff set [Unix.sleepf]. *)
   chaos : Search_resilience.Chaos.t;
   cancel : Search_resilience.Cancel.t option;
 }
 
 val default : spec
-(** Unlimited budget, no retries, chaos disabled, no cancellation — with
-    [default], [map] degrades to a per-item [try]. *)
+(** Unlimited budget, no retries, cooperative backoff, chaos disabled,
+    no cancellation — with [default], [map] degrades to a per-item
+    [try]. *)
 
 type 'b persist = {
   journal : Search_resilience.Journal.t;

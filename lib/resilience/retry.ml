@@ -21,7 +21,13 @@ let delay_for policy ~attempt =
   Float.min policy.max_delay
     (policy.base_delay *. (policy.factor ** float_of_int attempt))
 
-let run ?(policy = default) ?(sleep = Unix.sleepf) ?on_error ~task f =
+(* [run_with] takes the backoff primitive as a required argument and
+   never mentions [Unix.sleepf]: callers on a latency-sensitive thread
+   (the serve dispatch path) go through here with a cooperative
+   backoff, and the hotpath lint can prove no real sleep is reachable.
+   [run] is the batch/CLI convenience wrapper that defaults to the
+   real thing. *)
+let run_with ~sleep ?(policy = default) ?on_error ~task f =
   let rec go attempt =
     match f ~attempt with
     | v -> Ok v
@@ -38,3 +44,8 @@ let run ?(policy = default) ?(sleep = Unix.sleepf) ?on_error ~task f =
         else Error err
   in
   go 0
+
+let cooperative (_ : float) = Domain.cpu_relax ()
+
+let run ?policy ?(sleep = Unix.sleepf) ?on_error ~task f =
+  run_with ~sleep ?policy ?on_error ~task f

@@ -27,6 +27,28 @@ val delay_for : policy -> attempt:int -> float
 (** Backoff after failed attempt [attempt] (0-based):
     [min max_delay (base_delay *. factor ^ attempt)].  Pure. *)
 
+val run_with :
+  sleep:(float -> unit) ->
+  ?policy:policy ->
+  ?on_error:(attempt:int -> Search_numerics.Search_error.t -> unit) ->
+  task:string ->
+  (attempt:int -> 'a) ->
+  ('a, Search_numerics.Search_error.t) result
+(** [run_with ~sleep ~task f] evaluates [f ~attempt:0]; on an exception
+    it classifies the failure, reports it to [on_error], and — when
+    retryable with attempts left — backs off via [sleep] and tries
+    [f ~attempt:(i+1)].  Returns the first success or the last failure.
+    [sleep] is required and never called with a non-positive delay;
+    this entry point never references [Unix.sleepf], so code reachable
+    from the serve event loop can retry without a real sleep anywhere
+    in its call graph (the [hotpath-blocking] lint checks exactly
+    that).  Pass {!cooperative} on latency-sensitive threads. *)
+
+val cooperative : float -> unit
+(** Backoff that yields the processor ([Domain.cpu_relax]) instead of
+    sleeping — ignores the requested delay.  The retry *decision*
+    sequence is unchanged (see the header): only scheduling differs. *)
+
 val run :
   ?policy:policy ->
   ?sleep:(float -> unit) ->
@@ -34,8 +56,6 @@ val run :
   task:string ->
   (attempt:int -> 'a) ->
   ('a, Search_numerics.Search_error.t) result
-(** [run ~task f] evaluates [f ~attempt:0]; on an exception it classifies
-    the failure, reports it to [on_error], and — when retryable with
-    attempts left — backs off and tries [f ~attempt:(i+1)].  Returns the
-    first success or the last failure.  [sleep] defaults to [Unix.sleepf]
-    and is never called with a non-positive delay. *)
+(** {!run_with} with [sleep] defaulting to [Unix.sleepf] — the
+    batch/CLI convenience wrapper.  Not for code reachable from the
+    serve event loop; use {!run_with} there. *)

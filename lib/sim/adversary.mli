@@ -37,6 +37,26 @@ val candidate_targets :
     removed — the same depth reached by several robots (or colliding with
     the [1.]/[n] endpoints) is scanned once. *)
 
+val compiled_scan :
+  flats:Trajectory.flat array ->
+  depths:float array array ->
+  times:float array ->
+  f:int ->
+  k:int ->
+  horizon:float ->
+  out:float array ->
+  unit
+(** The allocation-free inner loop of the [`Compiled] kernel, exposed
+    so the bench harness can put a Gc meter directly on it.  [flats]
+    are the [k] flattened trajectories, [depths] the per-ray candidate
+    depths (ascending, duplicate-free), [times] a reused length-[k]
+    scratch.  Writes [[| best ratio; best ray (as float); best dist |]]
+    into [out] ([out.(0) = neg_infinity] when the candidate set is
+    empty); raises the {!Search_numerics.Search_error.Non_convergence}
+    NaN contract of [Stats.sup_add].  A [@hot] lint root: zero
+    reachable allocation sites, checked by [lint --hotpath] and
+    cross-checked dynamically by [bench/kernels.exe]. *)
+
 val worst_case :
   Trajectory.t array -> f:int -> ?eps:float -> ?ratio_cap:float
   -> ?kernel:[ `Lazy | `Compiled ] -> n:float -> unit -> outcome

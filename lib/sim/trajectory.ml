@@ -184,25 +184,32 @@ let flatten ?(max_legs = default_max_legs) t ~horizon =
     flat_starts = Array.map (fun l -> l.t_start) legs;
   }
 
-let flat_first_visit fl ~ray ~dist ~horizon =
+let[@hot] flat_first_visit fl ~ray ~dist ~horizon =
   (* Legs are time-ordered, so the first leg containing the target gives
      the earliest visit; a visit time past the horizon cannot be beaten
      by a later leg (whose times are even later), hence the early
      [infinity].  Bit-identical to [first_visit] for targets with
      [dist >= 1] (never the origin): same time expression, same horizon
      cut.  [infinity] encodes "not visited" so callers can sort a
-     scratch array without an option box. *)
+     scratch array without an option box.  A while loop over unboxed
+     local refs, not a recursive closure — this probe runs once per
+     robot per candidate and must not allocate. *)
   let len = Array.length fl.flat_starts in
-  let rec scan j =
-    if j >= len then infinity
-    else if
-      Int.equal fl.flat_rays.(j) ray
-      && dist >= fl.flat_los.(j)
-      && dist <= fl.flat_his.(j)
+  let j = ref 0 in
+  let out = ref infinity in
+  let scanning = ref true in
+  while !scanning && !j < len do
+    if
+      Int.equal fl.flat_rays.(!j) ray
+      && dist >= fl.flat_los.(!j)
+      && dist <= fl.flat_his.(!j)
     then begin
-      let time = fl.flat_starts.(j) +. Float.abs (dist -. fl.flat_froms.(j)) in
-      if time <= horizon then time else infinity
+      let time =
+        fl.flat_starts.(!j) +. Float.abs (dist -. fl.flat_froms.(!j))
+      in
+      if time <= horizon then out := time;
+      scanning := false
     end
-    else scan (j + 1)
-  in
-  scan 0
+    else incr j
+  done;
+  !out

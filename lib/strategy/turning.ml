@@ -100,7 +100,7 @@ let ensure c i =
     c.len <- i
   end
 
-let compiled_get c i =
+let[@hot] compiled_get c i =
   if i < 1 then invalid_arg "Turning.compiled_get: index must be >= 1";
   ensure c i;
   let v = c.turns.(i - 1) in
@@ -108,10 +108,28 @@ let compiled_get c i =
     invalid_arg (Printf.sprintf "Turning.get: t_%d = %g is invalid" i v);
   v
 
-let compiled_partial_sum c i =
+let[@hot] compiled_partial_sum c i =
   if i < 0 then invalid_arg "Turning.compiled_partial_sum: negative index"
   else if i = 0 then 0.
   else begin
     ensure c i;
     c.sums.(i - 1)
   end
+
+let[@hot] compiled_prefix_walk c depth =
+  (* Steady-state read path: the prefix must already be materialised
+     ([ensure] grows arrays and replays the Kahan chain — an
+     allocation the walk must not pay), so out-of-range depths are a
+     caller bug, not a growth trigger. *)
+  if depth < 0 then
+    invalid_arg "Turning.compiled_prefix_walk: negative depth";
+  if depth > c.len then
+    invalid_arg
+      (Printf.sprintf
+         "Turning.compiled_prefix_walk: depth %d exceeds compiled prefix %d"
+         depth c.len);
+  let total = ref 0. in
+  for i = 1 to depth do
+    total := !total +. c.sums.(i - 1)
+  done;
+  !total

@@ -71,3 +71,11 @@ val compiled_get : compiled -> int -> float
 
 val compiled_partial_sum : compiled -> int -> float
 (** Same contract as {!partial_sum}, bit-identical values. *)
+
+val compiled_prefix_walk : compiled -> int -> float
+(** Sum of the partial sums [S_1 + ... + S_depth] over the already
+    materialised prefix — the steady-state read pattern of the covering
+    sweeps, exposed as a benchable kernel.  Raises [Invalid_argument]
+    when [depth] is negative or exceeds {!compiled_length}: unlike
+    {!compiled_partial_sum} it never grows the view, so it stays
+    allocation-free (a [@hot] lint root with a zero budget). *)

@@ -52,8 +52,12 @@ let have_ocamlc =
 let with_ocamlc k = if Lazy.force have_ocamlc then k () else ()
 
 let collect ?(audited = fun _ -> false) root =
-  Pool.with_pool ~jobs:1 @@ fun pool ->
-  Deep.collect ~pool ~audited ~dirs:[ "lib" ] ~root
+  let findings, units, _budget_stale =
+    Pool.with_pool ~jobs:1 @@ fun pool ->
+    Deep.collect ~pool ~deep:true ~hotpath:false ~audited
+      ~budget:Search_analysis.Budget.empty ~dirs:[ "lib" ] ~root
+  in
+  (findings, units)
 
 let by_rule rule findings =
   List.filter (fun f -> String.equal f.Finding.rule rule) findings
@@ -277,6 +281,7 @@ let test_github_render () =
       files = 1;
       units = 0;
       stale = [ ("nondet", "lib/unused.ml", 7) ];
+      budget_stale = [ ("Gone.kernel", 3) ];
     }
   in
   let out = Driver.render_github o in
@@ -293,6 +298,8 @@ let test_github_render () =
   check_bool "newline escaped" true (contains out "%0Asecond line");
   check_bool "stale entry as warning on lint.allow" true
     (contains out "::warning file=lint.allow,line=7");
+  check_bool "stale budget entry as warning on lint.budget" true
+    (contains out "::warning file=lint.budget,line=3");
   check_bool "rule tag present" true (contains out "[demo]")
 
 let test_display_name () =

@@ -490,6 +490,35 @@ let test_adversary_kernels_agree () =
   check_bool "escape compiled" true (Float.equal c.Adv.ratio infinity);
   check_bool "escape witness" true (W.equal_point l.Adv.witness c.Adv.witness)
 
+(* Degenerate inputs for the compiled scan: the singleton candidate
+   set (n = 1 collapses each ray to the single depth 1.), k = 1 with
+   f = 0, and — through the exposed kernel directly — candidate sets
+   the public API cannot produce: no robots, empty depth rows. *)
+let test_adversary_kernel_degenerate () =
+  let tr = [| Tr.compile (doubling_cow ()) |] in
+  let l = Adv.worst_case tr ~f:0 ~kernel:`Lazy ~n:1. () in
+  let c = Adv.worst_case tr ~f:0 ~kernel:`Compiled ~n:1. () in
+  check_bool "singleton ratio bitwise" true
+    (Int64.equal
+       (Int64.bits_of_float l.Adv.ratio)
+       (Int64.bits_of_float c.Adv.ratio));
+  check_bool "singleton witness" true (W.equal_point l.Adv.witness c.Adv.witness);
+  check_int "singleton scanned" l.Adv.candidates_scanned
+    c.Adv.candidates_scanned;
+  (* the raw kernel on an empty candidate set reports the sentinel *)
+  let out = [| 0.; 0.; 0. |] in
+  Adv.compiled_scan ~flats:[||] ~depths:[| [||]; [||] |] ~times:[||] ~f:0
+    ~k:0 ~horizon:10. ~out;
+  check_bool "empty candidates sentinel" true
+    (Float.equal out.(0) neg_infinity);
+  (* empty depth rows on one ray, a singleton on the other *)
+  let fl = Tr.flatten tr.(0) ~horizon:100. in
+  Adv.compiled_scan ~flats:[| fl |] ~depths:[| [||]; [| 1. |] |]
+    ~times:[| infinity |] ~f:0 ~k:1 ~horizon:100. ~out;
+  check_bool "singleton row scanned" true (out.(0) > 0.);
+  check_bool "singleton row ray" true (Float.equal out.(1) 1.);
+  check_bool "singleton row dist" true (Float.equal out.(2) 1.)
+
 let test_adversary_partition_ratio_one () =
   (* k=2 straight-out robots, f=0 on the line: ratio exactly 1 *)
   let w = W.line in
@@ -1003,6 +1032,7 @@ let () =
           tc "dedup candidates" `Quick test_adversary_dedup_candidates;
           tc "flat first visit" `Quick test_trajectory_flat_first_visit;
           tc "kernels agree" `Quick test_adversary_kernels_agree;
+          tc "kernel degenerate inputs" `Quick test_adversary_kernel_degenerate;
           tc "partition ratio one" `Quick test_adversary_partition_ratio_one;
         ] );
       ( "competitive",

@@ -127,6 +127,26 @@ let test_compiled_matches_lazy_generated () =
         (Search_check.Gen.turning_group case))
     (Search_check.Gen.cases ~seed:20180723 ~count:20)
 
+(* The prefix walk reads only the materialised prefix: the 0-length
+   walk is 0. on a fresh (empty) view, walking past the prefix raises
+   instead of growing, and a warmed walk equals the explicit sum of
+   partial sums bit for bit. *)
+let test_compiled_prefix_walk () =
+  let c = Turning.compile ~hint:4 doubling in
+  checkf "empty prefix" 0. (Turning.compiled_prefix_walk c 0);
+  (match Turning.compiled_prefix_walk c 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "walk past the materialised prefix accepted");
+  (match Turning.compiled_prefix_walk c (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative depth accepted");
+  ignore (Turning.compiled_partial_sum c 5);
+  let expected = ref 0. in
+  for i = 1 to 5 do
+    expected := !expected +. Turning.compiled_partial_sum c i
+  done;
+  check_bits "warmed walk" !expected (Turning.compiled_prefix_walk c 5)
+
 (* ------------------------------------------------------------------ *)
 (* Line_zigzag: the Section 2 closed formula *)
 
@@ -574,6 +594,7 @@ let () =
             test_compiled_negative_rejected;
           tc "compiled = lazy (generated)" `Quick
             test_compiled_matches_lazy_generated;
+          tc "compiled prefix walk" `Quick test_compiled_prefix_walk;
         ] );
       ( "line_zigzag",
         [
