@@ -952,6 +952,186 @@ let serve_cmd =
       $ cache_cap_arg $ chaos_seed_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
+(* dst                                                                 *)
+
+module Dst = Search_dst.Harness
+
+let dst_seed_arg =
+  let doc = "Schedule seed of the first simulated run." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dst_seeds_arg =
+  let doc =
+    "Schedule-search width: run seeds SEED, SEED+1, ... until one \
+     violates an invariant or $(docv) runs stay clean."
+  in
+  Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let dst_clients_arg =
+  let doc = "Simulated client fleet size." in
+  Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc)
+
+let dst_requests_arg =
+  let doc = "Requests per simulated client." in
+  Arg.(value & opt int 6 & info [ "requests" ] ~docv:"N" ~doc)
+
+let dst_faults_arg =
+  let doc =
+    "Enable network faults: chunk reordering, drops (connection resets) \
+     and scheduled peer crashes, all drawn from the run's split PRNG."
+  in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let dst_light_arg =
+  let doc = "Restrict the workload mix to cheap operations." in
+  Arg.(value & flag & info [ "light" ] ~doc)
+
+let dst_queue_cap_arg =
+  let doc = "Backlog bound of the simulated daemon (small by default so \
+             overload paths are exercised)." in
+  Arg.(value & opt int 8 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let dst_inject_arg =
+  let doc =
+    Printf.sprintf
+      "Inject a known server bug to validate the oracles; $(docv) is one \
+       of: %s."
+      (String.concat ", " Dst.injections)
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
+
+let dst_replay_arg =
+  let doc =
+    "Replay corpus entries instead of searching: $(docv) is a \
+     dst-scenario JSON file or a directory of them (e.g. \
+     test/corpus/dst)."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH" ~doc)
+
+let dst_corpus_dir_arg =
+  let doc =
+    "After shrinking a failing run, write it into $(docv) as a \
+     replayable JSON corpus entry."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR" ~doc)
+
+let dst_trace_arg =
+  let doc =
+    "Write the virtual-time event trace of the (first) run to $(docv) — \
+     byte-identical across reruns of the same scenario; '-' for stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let dst_write_trace trace = function
+  | None -> ()
+  | Some "-" -> print_string trace
+  | Some file ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc trace)
+
+let dst_replay path =
+  let entries =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort String.compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  if entries = [] then begin
+    Format.eprintf "no corpus entries under %s@." path;
+    exit_usage
+  end
+  else begin
+    let failed = ref 0 in
+    List.iter
+      (fun file ->
+        match Dst.replay_file file with
+        | Ok o ->
+            Format.printf "replay %s: OK (%s)@." file
+              (if Dst.failing o then "violates, as recorded"
+               else "clean, as recorded")
+        | Error msg ->
+            incr failed;
+            Format.printf "replay %s: FAIL %s@." file msg)
+      entries;
+    Format.printf "replayed %d entr%s, %d failing@." (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      !failed;
+    if !failed = 0 then exit_ok else exit_finding
+  end
+
+let dst_run seed seeds clients requests faults jobs light queue_cap inject
+    replay corpus_dir trace_out =
+  if not (check_jobs jobs) then exit_usage
+  else
+    match replay with
+    | Some path -> dst_replay path
+    | None -> (
+        match
+          Dst.scenario ~seed ~clients ~requests ~faults
+            ?jobs ~light ~queue_cap ?inject ()
+        with
+        | exception FS.Search_error.Error err ->
+            Format.eprintf "dst: %a@." FS.Search_error.pp err;
+            exit_usage
+        | sc -> (
+            match Dst.search sc ~seeds with
+            | `Clean n ->
+                (* re-run the base seed for the trace so --trace-out is
+                   useful on clean searches too *)
+                let o = Dst.run sc in
+                dst_write_trace o.Dst.trace trace_out;
+                Format.printf
+                  "dst: %d seed%s clean (served %d, overload give-ups %d, \
+                   conn errors %d, digest %s)@."
+                  n
+                  (if n = 1 then "" else "s")
+                  o.Dst.served o.Dst.overloaded_gaveup o.Dst.conn_errors
+                  o.Dst.digest;
+                exit_ok
+            | `Found (o, tried) ->
+                dst_write_trace o.Dst.trace trace_out;
+                Format.printf "dst: seed %d violates after %d seed%s:@."
+                  o.Dst.scenario.Dst.seed tried
+                  (if tried = 1 then "" else "s");
+                List.iter (Format.printf "  %s@.") o.Dst.violations;
+                let shrunk = Dst.shrink o in
+                let ssc = shrunk.Dst.scenario in
+                Format.printf
+                  "dst: shrunk to seed %d, %d client%s x %d request%s%s%s@."
+                  ssc.Dst.seed ssc.Dst.clients
+                  (if ssc.Dst.clients = 1 then "" else "s")
+                  ssc.Dst.requests
+                  (if ssc.Dst.requests = 1 then "" else "s")
+                  (if ssc.Dst.faults then ", faults" else "")
+                  (if ssc.Dst.light then ", light" else "");
+                (match corpus_dir with
+                | None -> ()
+                | Some dir ->
+                    Format.printf "corpus entry written to %s@."
+                      (Dst.corpus_write ~dir shrunk));
+                exit_finding))
+
+let dst_cmd =
+  let doc =
+    "Deterministic whole-system simulation: the real daemon, simulated \
+     clients and a seeded fault plan inside one discrete-event \
+     scheduler.  A run is a pure function of the scenario (seed, fleet, \
+     mix, faults); failing seeds replay exactly and shrink to minimal \
+     corpus entries."
+  in
+  Cmd.v
+    (Cmd.info "dst" ~doc)
+    Term.(
+      const dst_run $ dst_seed_arg $ dst_seeds_arg $ dst_clients_arg
+      $ dst_requests_arg $ dst_faults_arg $ jobs_arg $ dst_light_arg
+      $ dst_queue_cap_arg $ dst_inject_arg $ dst_replay_arg
+      $ dst_corpus_dir_arg $ dst_trace_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "parallel search on m rays with faulty robots (PODC 2018)" in
@@ -960,12 +1140,16 @@ let main_cmd =
     [
       bounds_cmd; simulate_cmd; certify_cmd; recheck_cmd; sweep_cmd; trace_cmd;
       phase_cmd; fractional_cmd; random_cmd; report_cmd; plan_cmd; fuzz_cmd;
-      lint_cmd; serve_cmd;
+      lint_cmd; serve_cmd; dst_cmd;
     ]
 
 (* Map cmdliner's evaluation onto the exit-code contract in the header:
    parse/term errors are usage (2); an escaping exception — including a
    [Search_error] no subcommand translated — is an internal error (3). *)
+(* whole-system invariants hook into the fuzz catalogue at startup (the
+   registry breaks the dst -> serve -> core -> check dependency cycle) *)
+let () = Dst.register_invariant ()
+
 let () =
   exit
     (match Cmd.eval_value ~catch:false main_cmd with

@@ -57,7 +57,7 @@ let run ?jobs ?(chaos = Chaos.disabled) ?(retry = Retry.none) ?journal_dir
               ("cases", Json.Number (float_of_int cases));
               ( "invariants",
                 Json.List
-                  (List.map (fun n -> Json.String n) Invariant.names) );
+                  (List.map (fun n -> Json.String n) (Invariant.names ())) );
             ]
         in
         {
@@ -113,7 +113,7 @@ let report o =
   let buf = Buffer.create 256 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "fuzz: seed=%d cases=%d invariants=%d\n" o.seed o.cases
-    (List.length Invariant.names);
+    (List.length (Invariant.names ()));
   List.iter
     (fun fl ->
       pf "\nFAILURE: case %d (shrunk from id %d):\n" fl.shrunk.Case.id

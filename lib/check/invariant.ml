@@ -697,7 +697,43 @@ let catalogue : (string * (ctx -> string list)) list =
     ("analysis.self_clean", inv_analysis);
   ]
 
-let names = List.map fst catalogue
+(* Extension registry: layers above [search_check] in the dependency
+   graph (the deterministic simulator pulls in [search_serve], which
+   pulls in [faulty_search], which links this library — a cycle if the
+   catalogue referenced them directly) register whole-system invariants
+   here at startup.  Extensions take the raw case rather than a [ctx]
+   and are evaluated after the catalogue, sorted by name, so the
+   violation list stays a pure function of (case, registered set). *)
+let extensions : (string * (Case.t -> string list)) list Atomic.t =
+  Atomic.make []
+
+let register ~name run =
+  let rec swap () =
+    let cur = Atomic.get extensions in
+    let without = List.filter (fun (n, _) -> not (String.equal n name)) cur in
+    if not (Atomic.compare_and_set extensions cur ((name, run) :: without))
+    then swap ()
+  in
+  swap ()
+
+let sorted_extensions () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Atomic.get extensions)
+
+let names () =
+  List.map fst catalogue @ List.map fst (sorted_extensions ())
+
+let run_entry ~invariant details_or_exn =
+  match details_or_exn () with
+  | details -> List.map (fun detail -> { invariant; detail }) details
+  | exception e ->
+      [
+        {
+          invariant;
+          detail = Printf.sprintf "raised %s" (Printexc.to_string e);
+        };
+      ]
 
 let check_case case =
   match Case.validate case with
@@ -716,15 +752,9 @@ let check_case case =
       | ctx ->
           List.concat_map
             (fun (invariant, run) ->
-              match run ctx with
-              | details ->
-                  List.map (fun detail -> { invariant; detail }) details
-              | exception e ->
-                  [
-                    {
-                      invariant;
-                      detail =
-                        Printf.sprintf "raised %s" (Printexc.to_string e);
-                    };
-                  ])
-            catalogue)
+              run_entry ~invariant (fun () -> run ctx))
+            catalogue
+          @ List.concat_map
+              (fun (invariant, run) ->
+                run_entry ~invariant (fun () -> run case))
+              (sorted_extensions ()))

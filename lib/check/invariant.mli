@@ -50,12 +50,23 @@
 
 type violation = { invariant : string; detail : string }
 
-val names : string list
-(** Catalogue ids, in evaluation order. *)
+val names : unit -> string list
+(** Catalogue ids in evaluation order, then registered extension ids
+    sorted by name. *)
+
+val register : name:string -> (Case.t -> string list) -> unit
+(** Add (or replace, keyed by [name]) an extension invariant.  Layers
+    that sit {e above} this library in the dependency graph — e.g. the
+    deterministic whole-system simulator, which links the server — hook
+    into the fuzz catalogue here at startup instead of being referenced
+    directly (which would be a dependency cycle).  Extensions receive
+    the raw case (no [ctx]) and run after the built-in catalogue, in
+    name order. *)
 
 val check_case : Case.t -> violation list
-(** Run the whole catalogue on one case.  Deterministic: the violation
-    list (contents and order) is a pure function of the case.  An
+(** Run the whole catalogue (plus registered extensions) on one case.
+    Deterministic: the violation list (contents and order) is a pure
+    function of the case and the registered extension set.  An
     invariant that raises an unexpected exception is itself reported as
     a violation; an invalid case yields a single [case.valid]
     violation. *)

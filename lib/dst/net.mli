@@ -1,0 +1,56 @@
+(** The fake network: simulated Unix-domain sockets over {!Sim}.
+
+    Implements the full {!Search_serve.Runtime} contract with integer
+    fds, so the real {!Search_serve.Server} loop and
+    {!Search_serve.Client} run against it unchanged.  Every write is
+    fragmented into arbitrary byte chunks, each delivered by its own
+    virtual-time timer; partial writes happen spontaneously.  What the
+    network may do to a stream:
+
+    - {b always}: delay chunks (50–500 µs per chunk), fragment at any
+      byte boundary, accept only a prefix of a write;
+    - {b never} (faults off): reorder, lose, or duplicate bytes —
+      deliveries on an edge are clamped monotone like a real stream
+      socket;
+    - {b with [faults = true]}: jitter a chunk past its successors
+      (reordering deliveries at distinct virtual times; an inversion
+      that materialises is detected by a per-edge sequence check and
+      surfaced as a connection reset, because a stream socket can never
+      hand reordered bytes to its reader), drop a chunk (also a reset
+      at delivery time — lost bytes on a stream are unrecoverable), or
+      crash a connection at a scheduled instant drawn from the
+      connection's split-PRNG plan.  Readers always observe an exact
+      prefix of what was written, then possibly an error — never
+      corrupted bytes.
+
+    All randomness comes from the [prng] handed to {!create} and from
+    per-connection split streams derived from it — independent of the
+    scheduler PRNG, so the same fault plan replays under any schedule
+    seed. *)
+
+type t
+
+type counters = {
+  mutable chunks : int;  (** delivery timers scheduled *)
+  mutable reorders : int;  (** inversions that materialised (resets) *)
+  mutable drops : int;  (** chunks dropped (connection resets) *)
+  mutable crashes : int;  (** scheduled peer-crashes that fired *)
+  mutable partial_writes : int;  (** writes that accepted only a prefix *)
+}
+
+val create : sim:Sim.t -> prng:Search_numerics.Prng.t -> faults:bool -> t
+
+val ops : t -> int Search_serve.Runtime.ops
+val runtime : t -> Search_serve.Runtime.t
+
+val socket_bound : t -> string -> bool
+(** Is a socket file currently bound at this path?  (Survives listener
+    close until [unlink], as on a real filesystem.) *)
+
+val open_fds : t -> int list
+(** Every endpoint or listener not yet closed, ascending — the fd-leak
+    oracle: after a clean shutdown with all clients closed this must be
+    empty. *)
+
+val counters : t -> counters
+(** Fault/traffic counters for the whole run (mutated in place). *)

@@ -1,0 +1,202 @@
+module Prng = Search_numerics.Prng
+
+(* A single-threaded discrete-event scheduler in the FoundationDB style:
+   fibers are effect-handled computations, the virtual clock advances
+   only when every runnable fiber has parked, and the only randomness is
+   one seeded PRNG choosing among same-instant runnables.  Everything
+   observable in a run is a pure function of the seed. *)
+
+type timer = { at : float; tseq : int; fire : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable prng : Prng.t;
+  mutable ready : (unit -> unit) list;  (** runnable bag, order immaterial *)
+  mutable ready_n : int;
+  mutable heap : timer array;  (** binary min-heap by [(at, tseq)] *)
+  mutable heap_n : int;
+  mutable seq : int;
+  mutable crashes : (string * exn) list;
+  mutable live : int;  (** spawned fibers that have not finished *)
+}
+
+let dummy_timer = { at = 0.; tseq = 0; fire = ignore }
+
+let create ~prng =
+  {
+    now = 0.;
+    prng;
+    ready = [];
+    ready_n = 0;
+    heap = Array.make 64 dummy_timer;
+    heap_n = 0;
+    seq = 0;
+    crashes = [];
+    live = 0;
+  }
+
+let now t = t.now
+let crashes t = List.rev t.crashes
+
+(* -- timer heap ---------------------------------------------------- *)
+
+let timer_lt a b =
+  match Float.compare a.at b.at with
+  | 0 -> Int.compare a.tseq b.tseq < 0
+  | c -> c < 0
+
+let heap_push t tm =
+  if t.heap_n = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.heap_n) dummy_timer in
+    Array.blit t.heap 0 bigger 0 t.heap_n;
+    t.heap <- bigger
+  end;
+  let i = ref t.heap_n in
+  t.heap_n <- t.heap_n + 1;
+  t.heap.(!i) <- tm;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if timer_lt t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let heap_pop t =
+  if t.heap_n = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.heap_n <- t.heap_n - 1;
+    t.heap.(0) <- t.heap.(t.heap_n);
+    t.heap.(t.heap_n) <- dummy_timer;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.heap_n && timer_lt t.heap.(l) t.heap.(!smallest) then
+        smallest := l;
+      if r < t.heap_n && timer_lt t.heap.(r) t.heap.(!smallest) then
+        smallest := r;
+      if not (Int.equal !smallest !i) then begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+(* -- scheduling ---------------------------------------------------- *)
+
+let schedule t thunk =
+  t.ready <- thunk :: t.ready;
+  t.ready_n <- t.ready_n + 1
+
+let at t ~delay fire =
+  let delay = if delay > 0. then delay else 0. in
+  t.seq <- t.seq + 1;
+  heap_push t { at = t.now +. delay; tseq = t.seq; fire }
+
+(* Remove and return the [i]-th element of the ready bag. *)
+let take_nth t i =
+  let rec go j acc = function
+    | [] -> assert false
+    | x :: rest ->
+        if Int.equal j i then begin
+          t.ready <- List.rev_append acc rest;
+          t.ready_n <- t.ready_n - 1;
+          x
+        end
+        else go (j + 1) (x :: acc) rest
+  in
+  go 0 [] t.ready
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let suspend _t register = Effect.perform (Suspend register)
+
+let sleep t d =
+  Effect.perform (Suspend (fun resume -> at t ~delay:d (fun () -> schedule t resume)))
+
+let yield t = Effect.perform (Suspend (fun resume -> schedule t resume))
+
+let spawn t ~name f =
+  t.live <- t.live + 1;
+  let body () =
+    Effect.Deep.match_with f ()
+      {
+        Effect.Deep.retc = (fun () -> t.live <- t.live - 1);
+        exnc =
+          (fun e ->
+            t.live <- t.live - 1;
+            t.crashes <- (name, e) :: t.crashes);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) Effect.Deep.continuation) ->
+                    register (fun () -> Effect.Deep.continue k ()))
+            | _ -> None);
+      }
+  in
+  schedule t body
+
+(* One scheduler step: run a random runnable, else advance the clock to
+   the earliest timer(s).  Every timer due at that same instant is
+   released into the ready bag together, so ties are randomly
+   interleaved exactly like any other same-instant runnables. *)
+let step t ~deadline =
+  if t.ready_n > 0 then begin
+    let thunk =
+      if Int.equal t.ready_n 1 then take_nth t 0
+      else begin
+        let i, prng = Prng.int ~bound:t.ready_n t.prng in
+        t.prng <- prng;
+        take_nth t i
+      end
+    in
+    thunk ();
+    `Progress
+  end
+  else
+    match heap_pop t with
+    | None -> `Quiescent
+    | Some tm ->
+        if tm.at > deadline then begin
+          (* put it back; the caller sees a deadline overrun *)
+          heap_push t tm;
+          `Deadline
+        end
+        else begin
+          t.now <- (if tm.at > t.now then tm.at else t.now);
+          schedule t tm.fire;
+          let continue = ref true in
+          while !continue do
+            match heap_pop t with
+            | Some tm' when Float.equal tm'.at tm.at -> schedule t tm'.fire
+            | Some tm' ->
+                heap_push t tm';
+                continue := false
+            | None -> continue := false
+          done;
+          `Progress
+        end
+
+let run t ~deadline =
+  let rec go () =
+    match step t ~deadline with
+    | `Progress -> go ()
+    | `Quiescent -> `Quiescent
+    | `Deadline -> `Deadline
+  in
+  go ()
+
+let live t = t.live

@@ -1,0 +1,58 @@
+(** Deterministic discrete-event scheduler: virtual time, seeded
+    interleavings, effect-based fibers.
+
+    The simulation owns a virtual clock that starts at [0.] and advances
+    only when every runnable fiber has parked (on a {!sleep} timer or a
+    {!suspend} registration).  Runnable fibers are kept in a bag and the
+    next one to execute is drawn uniformly with the scheduler PRNG —
+    that draw is the {e only} source of randomness, so a whole run is a
+    pure function of the seed, and re-running a seed replays the exact
+    interleaving (a failing seed is a repro).
+
+    Event ordering rule: timers fire in [(time, creation order)] order;
+    all timers due at the same instant are released together and mix
+    randomly with any other runnables of that instant.  Fiber wake-ups
+    always pass through the ready bag — nothing runs nested inside
+    another fiber's step. *)
+
+type t
+
+val create : prng:Search_numerics.Prng.t -> t
+
+val now : t -> float
+(** Virtual seconds since the start of the run. *)
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Add a fiber.  An exception escaping [f] is recorded under [name] in
+    {!crashes} and does not stop the simulation. *)
+
+val sleep : t -> float -> unit
+(** Park the calling fiber for that much virtual time.  Must be called
+    from inside a fiber. *)
+
+val yield : t -> unit
+(** Reschedule the calling fiber, letting same-instant peers interleave. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] parks the calling fiber and hands its resume
+    thunk to [register].  The resume thunk must be called at most once,
+    and only from scheduler context (a timer body or another fiber) —
+    typically via {!schedule} or {!at}. *)
+
+val schedule : t -> (unit -> unit) -> unit
+(** Add a thunk to the ready bag (runs at the current instant, in random
+    order with its peers). *)
+
+val at : t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk [delay] virtual seconds from now (clamped to [>= 0]). *)
+
+val run : t -> deadline:float -> [ `Quiescent | `Deadline ]
+(** Drive the simulation until no fiber is runnable and no timer is
+    pending ([`Quiescent]), or until the next timer lies beyond
+    [deadline] ([`Deadline] — somebody is stuck sleeping forever). *)
+
+val crashes : t -> (string * exn) list
+(** Fibers that died to an exception, in spawn-crash order. *)
+
+val live : t -> int
+(** Spawned fibers that have not yet returned or crashed. *)

@@ -4,6 +4,7 @@ module Budget = Search_resilience.Budget
 module Cancel = Search_resilience.Cancel
 module Retry = Search_resilience.Retry
 module Chaos = Search_resilience.Chaos
+module Clock = Search_resilience.Clock
 module Journal = Search_resilience.Journal
 
 type spec = {
@@ -12,6 +13,7 @@ type spec = {
   backoff : float -> unit;
   chaos : Chaos.t;
   cancel : Cancel.t option;
+  clock : unit -> float;
 }
 
 let default =
@@ -25,6 +27,7 @@ let default =
     backoff = Retry.cooperative;
     chaos = Chaos.disabled;
     cancel = None;
+    clock = Clock.unix.Clock.now;
   }
 
 type 'b persist = {
@@ -39,7 +42,7 @@ let run_one spec ~task x f =
       | Some c -> Cancel.check c ~task
       | None -> ());
       Chaos.run spec.chaos ~task ~attempt (fun () ->
-          let meter = Budget.start spec.budget ~task in
+          let meter = Budget.start ~clock:spec.clock spec.budget ~task in
           f meter x))
 
 (* Split a list into consecutive groups of [n] (last may be shorter). *)

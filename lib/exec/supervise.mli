@@ -26,12 +26,17 @@ type spec = {
           want wall-clock backoff set [Unix.sleepf]. *)
   chaos : Search_resilience.Chaos.t;
   cancel : Search_resilience.Cancel.t option;
+  clock : unit -> float;
+      (** time source armed into each task's budget meter (the seconds
+          cap backstop).  Default {!Search_resilience.Clock.unix}'s
+          [now]; the deterministic simulator substitutes its virtual
+          clock. *)
 }
 
 val default : spec
 (** Unlimited budget, no retries, cooperative backoff, chaos disabled,
-    no cancellation — with [default], [map] degrades to a per-item
-    [try]. *)
+    no cancellation, wall clock — with [default], [map] degrades to a
+    per-item [try]. *)
 
 type 'b persist = {
   journal : Search_resilience.Journal.t;

@@ -20,17 +20,18 @@ let is_unlimited t = Option.is_none t.steps && Option.is_none t.seconds
 type meter = {
   spec : t;
   task : string;
+  clock : unit -> float;
   mutable consumed : int;
   started : float;  (** 0. when no wall-clock limit is armed *)
 }
 
-let start spec ~task =
+let start ?(clock = Clock.unix.Clock.now) spec ~task =
   let started =
     (* the clock is read only when a seconds cap was requested, so fully
        deterministic budgets never touch wall time *)
-    match spec.seconds with None -> 0. | Some _ -> Unix.gettimeofday ()
+    match spec.seconds with None -> 0. | Some _ -> clock ()
   in
-  { spec; task; consumed = 0; started }
+  { spec; task; clock; consumed = 0; started }
 
 let step ?(cost = 1) m =
   m.consumed <- m.consumed + cost;
@@ -47,7 +48,7 @@ let step ?(cost = 1) m =
   | Some _ | None -> ());
   match m.spec.seconds with
   | Some limit ->
-      let spent = Unix.gettimeofday () -. m.started in
+      let spent = m.clock () -. m.started in
       if spent > limit then
         E.raise_
           (E.Budget_exceeded

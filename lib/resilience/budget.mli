@@ -6,10 +6,10 @@
     never calls {!step}.
 
     Determinism contract: the step limit is exact and reproducible.  The
-    [seconds] limit reads the ambient wall clock and therefore must never
-    gate a code path whose *output* is part of a deterministic artefact;
-    it exists as a backstop against runaway tasks.  This module is the only
-    sanctioned home for that clock (see lint.allow). *)
+    [seconds] limit reads the injected clock (default the ambient wall
+    clock, {!Clock.unix}) and therefore must never gate a code path whose
+    *output* is part of a deterministic artefact; it exists as a backstop
+    against runaway tasks. *)
 
 type t
 (** A budget spec; immutable and shareable across tasks. *)
@@ -27,8 +27,10 @@ val is_unlimited : t -> bool
 type meter
 (** One task's running consumption against a spec. *)
 
-val start : t -> task:string -> meter
-(** Arm the budget for task [task]; the clock (if any) starts now. *)
+val start : ?clock:(unit -> float) -> t -> task:string -> meter
+(** Arm the budget for task [task]; the clock (if any) starts now.
+    [clock] defaults to {!Clock.unix}'s [now] and is read only when a
+    seconds cap was requested. *)
 
 val step : ?cost:int -> meter -> unit
 (** Record [cost] (default 1) units of progress; checks both limits.

@@ -40,14 +40,14 @@ let is_stale ~stale_after ~now path =
       | { Unix.st_mtime; _ } -> now -. st_mtime > stale_after
       | exception Unix.Unix_error (_, _, _) -> true)
 
-let acquire ~stale_after ~give_up_after path =
+let acquire ~clock ~stale_after ~give_up_after path =
   let rec go waited =
     match
       Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
     with
     | fd ->
         let oc = Unix.out_channel_of_descr fd in
-        Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) (Unix.gettimeofday ());
+        Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) (clock.Clock.now ());
         close_out_noerr oc
     | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
         if waited > give_up_after then
@@ -58,14 +58,14 @@ let acquire ~stale_after ~give_up_after path =
                  what =
                    Printf.sprintf "lock still held after %.0fs" give_up_after;
                });
-        if is_stale ~stale_after ~now:(Unix.gettimeofday ()) path then begin
+        if is_stale ~stale_after ~now:(clock.Clock.now ()) path then begin
           (* break it; a racing breaker may win the unlink, that's fine *)
           (try Unix.unlink path
            with Unix.Unix_error (_, _, _) -> ());
           go waited
         end
         else begin
-          Unix.sleepf poll_interval;
+          clock.Clock.sleep poll_interval;
           go (waited +. poll_interval)
         end
     | exception Unix.Unix_error (e, _, _) ->
@@ -76,6 +76,7 @@ let acquire ~stale_after ~give_up_after path =
 let release path =
   try Unix.unlink path with Unix.Unix_error (_, _, _) -> ()
 
-let with_lock ?(stale_after = 60.) ?(give_up_after = 30.) ~path f =
-  acquire ~stale_after ~give_up_after path;
+let with_lock ?(clock = Clock.unix) ?(stale_after = 60.) ?(give_up_after = 30.)
+    ~path f =
+  acquire ~clock ~stale_after ~give_up_after path;
   Fun.protect ~finally:(fun () -> release path) f

@@ -13,9 +13,16 @@
     hanging forever. *)
 
 val with_lock :
-  ?stale_after:float -> ?give_up_after:float -> path:string -> (unit -> 'a) -> 'a
+  ?clock:Clock.t ->
+  ?stale_after:float ->
+  ?give_up_after:float ->
+  path:string ->
+  (unit -> 'a) ->
+  'a
 (** [with_lock ~path f] acquires [path], runs [f], and unlinks the lock
     even when [f] raises.  Contended acquisition polls at 10 ms; locks
     whose holder is dead or older than [stale_after] (default 60 s) are
-    broken.  @raise Search_numerics.Search_error.Error with [Io_failure]
-    after [give_up_after] (default 30 s) of waiting. *)
+    broken.  [clock] (default {!Clock.unix}) supplies the creation
+    timestamp, the staleness "now", and the contention sleep.
+    @raise Search_numerics.Search_error.Error with [Io_failure] after
+    [give_up_after] (default 30 s) of waiting. *)

@@ -1,47 +1,44 @@
 module E = Search_numerics.Search_error
 
-type t = {
-  fd : Unix.file_descr;
-  path : string;
-  decoder : Protocol.Frame.Decoder.t;
-  scratch : Bytes.t;
-}
+type t =
+  | Client : {
+      fd : 'fd;
+      ops : 'fd Runtime.ops;
+      path : string;
+      decoder : Protocol.Frame.Decoder.t;
+      scratch : Bytes.t;
+    }
+      -> t
 
-let connect ?max_frame ~socket_path () =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () ->
-      {
-        fd;
-        path = socket_path;
-        decoder = Protocol.Frame.Decoder.create ?max_frame ();
-        scratch = Bytes.create 65536;
-      }
-  | exception Unix.Unix_error (err, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      E.raise_
-        (E.Io_failure
-           { path = socket_path; what = "connect: " ^ Unix.error_message err })
+let connect ?(runtime = Runtime.default) ?max_frame ~socket_path () =
+  match runtime with
+  | Runtime.T ops ->
+      let fd = ops.Runtime.connect ~path:socket_path in
+      Client
+        {
+          fd;
+          ops;
+          path = socket_path;
+          decoder = Protocol.Frame.Decoder.create ?max_frame ();
+          scratch = Bytes.create 65536;
+        }
 
-let write_all t s =
+let write_all (Client c) s =
   let len = String.length s in
   let rec go off =
     if off < len then
-      match Unix.write_substring t.fd s off (len - off) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error (err, _, _) ->
-          E.raise_
-            (E.Io_failure
-               { path = t.path; what = "write: " ^ Unix.error_message err })
-      | n -> go (off + n)
+      match c.ops.Runtime.write_blocking c.fd s ~off ~len:(len - off) with
+      | `Err msg ->
+          E.raise_ (E.Io_failure { path = c.path; what = "write: " ^ msg })
+      | `Wrote n -> go (off + n)
   in
   go 0
 
 let send t ~id req =
   write_all t (Protocol.Frame.encode (Protocol.encode_request ~id req))
 
-let rec recv t =
-  match Protocol.Frame.Decoder.next t.decoder with
+let rec recv (Client c as t) =
+  match Protocol.Frame.Decoder.next c.decoder with
   | `Frame payload -> (
       match Protocol.decode_response payload with
       | Ok (id, resp) -> (id, resp)
@@ -50,26 +47,26 @@ let rec recv t =
   | `Corrupt msg ->
       E.raise_ (E.Invalid_input { where = "Client.recv"; what = msg })
   | `Awaiting -> (
-      match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
-      | exception Unix.Unix_error (err, _, _) ->
+      match
+        c.ops.Runtime.read_blocking c.fd c.scratch ~off:0
+          ~len:(Bytes.length c.scratch)
+      with
+      | `Err msg ->
+          E.raise_ (E.Io_failure { path = c.path; what = "read: " ^ msg })
+      | `Eof ->
           E.raise_
             (E.Io_failure
-               { path = t.path; what = "read: " ^ Unix.error_message err })
-      | 0 ->
-          E.raise_
-            (E.Io_failure
-               { path = t.path; what = "unexpected EOF mid-response" })
-      | n ->
-          Protocol.Frame.Decoder.feed t.decoder t.scratch ~off:0 ~len:n;
+               { path = c.path; what = "unexpected EOF mid-response" })
+      | `Data n ->
+          Protocol.Frame.Decoder.feed c.decoder c.scratch ~off:0 ~len:n;
           recv t)
 
 let call t ~id req =
   send t ~id req;
   recv t
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close (Client c) = c.ops.Runtime.close c.fd
 
-let with_client ?max_frame ~socket_path f =
-  let t = connect ?max_frame ~socket_path () in
+let with_client ?runtime ?max_frame ~socket_path f =
+  let t = connect ?runtime ?max_frame ~socket_path () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -10,8 +10,11 @@
 
 type t
 
-val connect : ?max_frame:int -> socket_path:string -> unit -> t
-(** @raise Search_numerics.Search_error.Error with [Io_failure] when the
+val connect :
+  ?runtime:Runtime.t -> ?max_frame:int -> socket_path:string -> unit -> t
+(** [runtime] defaults to {!Runtime.default} (real Unix sockets); the
+    deterministic simulator passes its fake network.
+    @raise Search_numerics.Search_error.Error with [Io_failure] when the
     socket cannot be reached. *)
 
 val send : t -> id:int -> Protocol.request -> unit
@@ -26,5 +29,6 @@ val call : t -> id:int -> Protocol.request -> int * Protocol.response
 
 val close : t -> unit
 
-val with_client : ?max_frame:int -> socket_path:string -> (t -> 'a) -> 'a
+val with_client :
+  ?runtime:Runtime.t -> ?max_frame:int -> socket_path:string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)

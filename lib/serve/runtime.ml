@@ -1,0 +1,125 @@
+module E = Search_numerics.Search_error
+
+type 'fd ops = {
+  equal_fd : 'fd -> 'fd -> bool;
+  listen : path:string -> 'fd;
+  accept : 'fd -> [ `Conn of 'fd | `Again | `Err of string ];
+  read : 'fd -> bytes -> off:int -> len:int -> [ `Data of int | `Eof | `Again | `Err of string ];
+  write : 'fd -> string -> off:int -> len:int -> [ `Wrote of int | `Again | `Err of string ];
+  select : read:'fd list -> write:'fd list -> timeout:float -> 'fd list * 'fd list;
+  close : 'fd -> unit;
+  unlink : string -> unit;
+  guard_sigpipe : unit -> unit -> unit;
+  connect : path:string -> 'fd;
+  read_blocking : 'fd -> bytes -> off:int -> len:int -> [ `Data of int | `Eof | `Err of string ];
+  write_blocking : 'fd -> string -> off:int -> len:int -> [ `Wrote of int | `Err of string ];
+}
+
+type t = T : 'fd ops -> t
+
+(* ------------------------------------------------------------------ *)
+(* The production implementation: real Unix-domain sockets.  Non-
+   blocking handlers fold EINTR into [`Again] (the caller loops through
+   select anyway); blocking handlers retry EINTR internally, preserving
+   the old Client behaviour. *)
+
+let unix_listen ~path =
+  (try if Sys.file_exists path then Unix.unlink path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    Unix.set_nonblock fd
+  with
+  | () -> fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      E.raise_
+        (E.Io_failure { path; what = "bind: " ^ Unix.error_message err })
+
+let unix_accept fd =
+  match Unix.accept ~cloexec:true fd with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      `Again
+  | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
+  | conn, _ ->
+      Unix.set_nonblock conn;
+      `Conn conn
+
+let unix_read fd buf ~off ~len =
+  match Unix.read fd buf off len with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      `Again
+  | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
+  | 0 -> `Eof
+  | n -> `Data n
+
+let unix_write fd s ~off ~len =
+  match Unix.write_substring fd s off len with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      `Again
+  | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
+  | n -> `Wrote n
+
+let unix_select ~read ~write ~timeout =
+  match Unix.select read write [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+  | readable, writable, _ -> (readable, writable)
+
+let unix_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let unix_unlink path =
+  try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let unix_guard_sigpipe () =
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  fun () -> ignore (Sys.signal Sys.sigpipe prev)
+
+let unix_connect ~path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      E.raise_
+        (E.Io_failure { path; what = "connect: " ^ Unix.error_message err })
+
+let rec unix_read_blocking fd buf ~off ~len =
+  match Unix.read fd buf off len with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      unix_read_blocking fd buf ~off ~len
+  | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
+  | 0 -> `Eof
+  | n -> `Data n
+
+let rec unix_write_blocking fd s ~off ~len =
+  match Unix.write_substring fd s off len with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      unix_write_blocking fd s ~off ~len
+  | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
+  | n -> `Wrote n
+
+let unix =
+  {
+    (* Unix.file_descr is an abstract handle with no Int-style equal;
+       structural equality on it is the documented comparison (it is a
+       plain int under the hood) — see the lint.allow entry. *)
+    equal_fd = ( = );
+    listen = unix_listen;
+    accept = unix_accept;
+    read = unix_read;
+    write = unix_write;
+    select = unix_select;
+    close = unix_close;
+    unlink = unix_unlink;
+    guard_sigpipe = unix_guard_sigpipe;
+    connect = unix_connect;
+    read_blocking = unix_read_blocking;
+    write_blocking = unix_write_blocking;
+  }
+
+let default = T unix

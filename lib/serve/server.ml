@@ -16,8 +16,8 @@ let config ?(queue_cap = 64) ?(batch_cap = 32)
   if max_frame < 8 then E.invalid ~where:"Server.config" "need max_frame >= 8";
   { socket_path; queue_cap; batch_cap; max_frame; log }
 
-type conn = {
-  fd : Unix.file_descr;
+type 'fd conn = {
+  fd : 'fd;
   decoder : Protocol.Frame.Decoder.t;
   out : Buffer.t;  (** encoded frames awaiting the peer *)
   mutable sent : int;  (** prefix of [out] already written *)
@@ -73,147 +73,129 @@ let drain_frames dispatch backlog c =
   in
   go ()
 
-(* [@nonblocking]: every fd that reaches these handlers had
-   [Unix.set_nonblock] applied at accept time, and EAGAIN/EWOULDBLOCK
-   are handled — the Unix.read/write here cannot park the loop thread.
-   The attribute is the audited barrier the [hotpath-blocking] lint
-   stops at. *)
-let[@nonblocking] read_conn dispatch backlog scratch c =
-  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    ->
-      ()
-  | exception Unix.Unix_error (_, _, _) -> c.dead <- true
-  | 0 -> c.eof <- true
-  | n ->
+(* [@nonblocking]: the runtime's [read]/[write] handlers answer [`Again]
+   instead of parking the loop thread (the Unix implementation applies
+   [Unix.set_nonblock] at accept time and folds EAGAIN/EWOULDBLOCK/EINTR
+   into [`Again]; the simulated one never blocks at all).  The attribute
+   is the audited barrier the [hotpath-blocking] lint stops at. *)
+let[@nonblocking] read_conn ops dispatch backlog scratch c =
+  match ops.Runtime.read c.fd scratch ~off:0 ~len:(Bytes.length scratch) with
+  | `Again -> ()
+  | `Err _ -> c.dead <- true
+  | `Eof -> c.eof <- true
+  | `Data n ->
       Protocol.Frame.Decoder.feed c.decoder scratch ~off:0 ~len:n;
       drain_frames dispatch backlog c
 
-let[@nonblocking] write_conn c =
+let[@nonblocking] write_conn ops c =
   let pending = Buffer.length c.out - c.sent in
   if pending > 0 then
-    match Unix.write_substring c.fd (Buffer.contents c.out) c.sent pending with
-    | exception
-        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-        ()
-    | exception Unix.Unix_error (_, _, _) -> c.dead <- true
-    | n ->
+    match ops.Runtime.write c.fd (Buffer.contents c.out) ~off:c.sent ~len:pending with
+    | `Again -> ()
+    | `Err _ -> c.dead <- true
+    | `Wrote n ->
         c.sent <- c.sent + n;
         if c.sent >= Buffer.length c.out then begin
           Buffer.clear c.out;
           c.sent <- 0
         end
 
-let bind_listener path =
-  (try if Sys.file_exists path then Unix.unlink path
-   with Unix.Unix_error _ | Sys_error _ -> ());
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 128;
-    Unix.set_nonblock fd
-  with
-  | () -> fd
-  | exception Unix.Unix_error (err, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      E.raise_
-        (E.Io_failure { path; what = "bind: " ^ Unix.error_message err })
-
-let[@event_loop] run cfg ~dispatch ~stop =
-  let listener = bind_listener cfg.socket_path in
-  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+(* The loop is generic in the runtime's handle type: the production
+   daemon instantiates it at [Unix.file_descr], the deterministic
+   simulator at its fake-socket handles.  Connections live in a small
+   list keyed by [equal_fd] — connection counts are bounded by the
+   process fd limit and each cycle's work is dominated by JSON
+   evaluation, so linear lookup is immaterial. *)
+let[@event_loop] serve : type fd.
+    fd Runtime.ops -> config -> dispatch:Dispatch.t -> stop:bool Atomic.t -> unit
+    =
+ fun ops cfg ~dispatch ~stop ->
+  let listener = ops.Runtime.listen ~path:cfg.socket_path in
+  let conns : fd conn list ref = ref [] in
   let backlog = Backlog.create ~cap:cfg.queue_cap () in
   let scratch = Bytes.create 65536 in
-  (* a peer may vanish between select and write; with SIGPIPE ignored
-     that surfaces as EPIPE on the write, which we already handle *)
-  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  (* a peer may vanish between select and write; with SIGPIPE guarded
+     that surfaces as an [`Err] on the write, which we already handle *)
+  let restore_sigpipe = ops.Runtime.guard_sigpipe () in
+  let find_conn fd = List.find_opt (fun c -> ops.Runtime.equal_fd c.fd fd) !conns in
   let accept_all () =
     let rec go () =
-      match Unix.accept ~cloexec:true listener with
-      | exception
-          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | exception Unix.Unix_error (_, _, _) -> ()
-      | fd, _ ->
-          Unix.set_nonblock fd;
-          Hashtbl.replace conns fd (make_conn ~max_frame:cfg.max_frame fd);
+      match ops.Runtime.accept listener with
+      | `Again | `Err _ -> ()
+      | `Conn fd ->
+          conns := make_conn ~max_frame:cfg.max_frame fd :: !conns;
           go ()
     in
     go ()
   in
   let reap () =
-    let victims =
-      Hashtbl.fold
-        (fun _fd c acc ->
+    let victims, kept =
+      List.partition
+        (fun c ->
           let drained = Buffer.length c.out - c.sent <= 0 in
-          if
-            c.dead
-            || (c.closing && drained)
-            || (c.eof && c.inflight <= 0 && drained)
-          then c :: acc
-          else acc)
-        conns []
+          c.dead
+          || (c.closing && drained)
+          || (c.eof && c.inflight <= 0 && drained))
+        !conns
     in
-    List.iter
-      (fun c ->
-        Hashtbl.remove conns c.fd;
-        try Unix.close c.fd with Unix.Unix_error _ -> ())
-      victims
+    conns := kept;
+    List.iter (fun c -> ops.Runtime.close c.fd) victims
   in
   let teardown () =
-    Hashtbl.iter
-      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
-      conns;
-    Hashtbl.reset conns;
-    (try Unix.close listener with Unix.Unix_error _ -> ());
-    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
-    ignore (Sys.signal Sys.sigpipe prev_sigpipe)
+    (* never leak a connection fd, also on exceptional exit *)
+    List.iter (fun c -> ops.Runtime.close c.fd) !conns;
+    conns := [];
+    ops.Runtime.close listener;
+    ops.Runtime.unlink cfg.socket_path;
+    restore_sigpipe ()
   in
   cfg.log (Printf.sprintf "listening on %s" cfg.socket_path);
   Fun.protect ~finally:teardown @@ fun () ->
   while not (Atomic.get stop) do
     let rds =
       listener
-      :: Hashtbl.fold
-           (fun fd c acc -> if c.eof || c.dead then acc else fd :: acc)
-           conns []
+      :: List.filter_map
+           (fun c -> if c.eof || c.dead then None else Some c.fd)
+           !conns
     in
     let wrs =
-      Hashtbl.fold
-        (fun fd c acc ->
-          if (not c.dead) && Buffer.length c.out - c.sent > 0 then fd :: acc
-          else acc)
-        conns []
+      List.filter_map
+        (fun c ->
+          if (not c.dead) && Buffer.length c.out - c.sent > 0 then Some c.fd
+          else None)
+        !conns
     in
     (* the timeout doubles as the stop-flag poll interval *)
-    match Unix.select rds wrs [] 0.05 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, writable, _ ->
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt conns fd with
-            | Some c -> read_conn dispatch backlog scratch c
-            | None -> accept_all ())
-          readable;
-        if Backlog.length backlog > 0 then begin
-          let batch = Backlog.take backlog ~max:cfg.batch_cap in
-          let replies = Dispatch.handle_batch dispatch batch in
-          List.iter
-            (fun (c, id, resp) ->
-              c.inflight <- c.inflight - 1;
-              if not c.dead then respond c ~id resp)
-            replies
-        end;
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt conns fd with
-            | Some c -> write_conn c
-            | None -> ())
-          writable;
-        (* responses enqueued by this cycle's dispatch get flushed
-           eagerly rather than waiting for the next select round *)
-        Hashtbl.iter (fun _fd c -> if not c.dead then write_conn c) conns;
-        reap ()
+    let readable, writable = ops.Runtime.select ~read:rds ~write:wrs ~timeout:0.05 in
+    List.iter
+      (fun fd ->
+        if ops.Runtime.equal_fd fd listener then accept_all ()
+        else
+          match find_conn fd with
+          | Some c -> read_conn ops dispatch backlog scratch c
+          | None -> ())
+      readable;
+    if Backlog.length backlog > 0 then begin
+      let batch = Backlog.take backlog ~max:cfg.batch_cap in
+      let replies = Dispatch.handle_batch dispatch batch in
+      List.iter
+        (fun (c, id, resp) ->
+          c.inflight <- c.inflight - 1;
+          if not c.dead then respond c ~id resp)
+        replies
+    end;
+    List.iter
+      (fun fd ->
+        match find_conn fd with
+        | Some c -> write_conn ops c
+        | None -> ())
+      writable;
+    (* responses enqueued by this cycle's dispatch get flushed
+       eagerly rather than waiting for the next select round *)
+    List.iter (fun c -> if not c.dead then write_conn ops c) !conns;
+    reap ()
   done;
   cfg.log "stop requested; shutting down"
+
+let run ?(runtime = Runtime.default) cfg ~dispatch ~stop =
+  match runtime with Runtime.T ops -> serve ops cfg ~dispatch ~stop

@@ -1,7 +1,8 @@
 (** The daemon: a single-threaded event loop over a Unix-domain socket.
 
-    Architecture — one [Unix.select] loop owns every socket; the domain
-    pool (inside the {!Dispatch.t}) owns every computation:
+    Architecture — one select loop (through the {!Runtime} seam; real
+    [Unix.select] by default) owns every socket; the domain pool (inside
+    the {!Dispatch.t}) owns every computation:
 
     + {b read}: drain readable connections into per-connection frame
       decoders; completed frames are parsed and admitted to the bounded
@@ -44,10 +45,14 @@ val config :
     [max_frame = Protocol.Frame.default_max_frame], [log = ignore].
     @raise Search_numerics.Search_error.Error on non-positive caps. *)
 
-val run : config -> dispatch:Dispatch.t -> stop:bool Atomic.t -> unit
+val run :
+  ?runtime:Runtime.t -> config -> dispatch:Dispatch.t -> stop:bool Atomic.t -> unit
 (** Bind, serve until [stop] reads [true], tear down.  A stale socket
     file at [socket_path] is replaced.  On return the listener and all
     connections are closed and the socket file is gone, including on
-    exceptional exit.
+    exceptional exit.  [runtime] (default {!Runtime.default}, real Unix
+    sockets) supplies every I/O primitive the loop touches — the
+    deterministic simulator passes its fake network here and the same
+    loop runs at memory speed under a virtual clock.
     @raise Search_numerics.Search_error.Error with [Io_failure] when the
     socket cannot be bound. *)

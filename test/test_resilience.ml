@@ -130,6 +130,29 @@ let test_budget_step_limit () =
   | () -> Alcotest.fail "bulk step must raise"
   | exception E.Error (E.Budget_exceeded _) -> ()
 
+(* the seconds cap reads an injectable clock: a virtual clock makes the
+   wall-clock backstop fully testable (and the simulated runtime uses
+   exactly this seam) *)
+let test_budget_seconds_with_injected_clock () =
+  let vnow = ref 100.0 in
+  let clock () = !vnow in
+  let b = Budget.make ~seconds:5.0 () in
+  let m = Budget.start ~clock b ~task:"clocked" in
+  vnow := 104.9;
+  Budget.step m;
+  vnow := 105.1;
+  (match Budget.step m with
+  | () -> Alcotest.fail "step past the seconds cap must raise"
+  | exception
+      E.Error
+        (E.Budget_exceeded { task = "clocked"; resource = E.Seconds; _ }) ->
+      ());
+  (* a frozen clock never trips the cap *)
+  let m2 = Budget.start ~clock:(fun () -> 0.) b ~task:"frozen" in
+  for _ = 1 to 1000 do
+    Budget.step m2
+  done
+
 let test_budget_unlimited_and_validation () =
   let m = Budget.start Budget.unlimited ~task:"free" in
   for _ = 1 to 10_000 do
@@ -534,6 +557,47 @@ let test_lockfile_breaks_stale_lock () =
       ran2 := true);
   check_bool "ancient unreadable lock broken" true !ran2
 
+(* the lock's timestamps, staleness test and contention sleep all go
+   through an injectable clock: under a virtual clock, staleness and
+   give-up behaviour are exact and instant *)
+let test_lockfile_virtual_clock () =
+  let dir = temp_dir "vclock" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "x.lock" in
+  let vnow = ref 1000.0 in
+  let sleeps = ref 0 in
+  let clock =
+    {
+      Search_resilience.Clock.now = (fun () -> !vnow);
+      sleep =
+        (fun d ->
+          incr sleeps;
+          vnow := !vnow +. d);
+    }
+  in
+  (* a lock held by a live process (ourselves) but stamped 900 virtual
+     seconds ago: stale by age, broken without any waiting *)
+  let oc = open_out path in
+  Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) 100.0;
+  close_out oc;
+  let ran = ref false in
+  Lockfile.with_lock ~clock ~stale_after:60. ~give_up_after:2. ~path
+    (fun () -> ran := true);
+  check_bool "virtually ancient lock broken instantly" true !ran;
+  check_int "no contention sleep was needed" 0 !sleeps;
+  (* a fresh lock held by a live process: contention burns virtual time
+     only, and gives up with a structured error *)
+  let oc = open_out path in
+  Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) !vnow;
+  close_out oc;
+  (match
+     Lockfile.with_lock ~clock ~stale_after:3600. ~give_up_after:2. ~path
+       (fun () -> ())
+   with
+  | () -> Alcotest.fail "contended fresh lock must give up"
+  | exception E.Error (E.Io_failure _) -> ());
+  check_bool "waiting was virtual, not real" true (!sleeps > 0)
+
 let test_lockfile_releases_on_exception () =
   let dir = temp_dir "raise" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -563,6 +627,8 @@ let () =
       ( "budget",
         [
           tc "step limit is exact" `Quick test_budget_step_limit;
+          tc "seconds cap reads the injected clock" `Quick
+            test_budget_seconds_with_injected_clock;
           tc "unlimited budgets and validation" `Quick
             test_budget_unlimited_and_validation;
         ] );
@@ -609,6 +675,8 @@ let () =
           tc "mutual exclusion across domains" `Quick
             test_lockfile_mutual_exclusion;
           tc "stale locks are broken" `Quick test_lockfile_breaks_stale_lock;
+          tc "virtual clock drives staleness and give-up" `Quick
+            test_lockfile_virtual_clock;
           tc "released when the body raises" `Quick
             test_lockfile_releases_on_exception;
         ] );

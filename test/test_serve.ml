@@ -158,6 +158,67 @@ let test_frame_byte_at_a_time () =
   List.iter2 (fun want g -> check_string "payload" want g) payloads
     (List.rev !got)
 
+(* the decoder must be chunking-blind: any adversarial fragmentation of
+   the same stream recovers the same frames as one whole-stream feed *)
+let test_frame_adversarial_chunkings () =
+  let payloads =
+    [
+      P.encode_request ~id:1 (P.Bound { m = 2; k = 3; f = 1 });
+      "";
+      P.encode_request ~id:2
+        (P.Certify { m = 3; k = 4; f = 1; n = 200.; lambda = 5.25 });
+      String.make 300 'z';
+      P.encode_response ~id:3 (P.Overloaded { pending = 9; cap = 8 });
+    ]
+  in
+  let stream = String.concat "" (List.map P.Frame.encode payloads) in
+  let decode_feeding feed =
+    let d = P.Frame.Decoder.create () in
+    let got = ref [] in
+    let rec drain () =
+      match P.Frame.Decoder.next d with
+      | `Frame p ->
+          got := p :: !got;
+          drain ()
+      | `Awaiting -> ()
+      | `Corrupt msg -> Alcotest.fail ("corrupt: " ^ msg)
+    in
+    feed d drain;
+    drain ();
+    List.rev !got
+  in
+  let whole =
+    decode_feeding (fun d _ -> P.Frame.Decoder.feed_string d stream)
+  in
+  check_int "whole-stream decode recovers all frames" (List.length payloads)
+    (List.length whole);
+  List.iter2 (fun want g -> check_string "payload" want g) payloads whole;
+  let buf = Bytes.of_string stream in
+  for seed = 0 to 49 do
+    let chunked =
+      decode_feeding (fun d drain ->
+          let prng = ref (Search_numerics.Prng.make ~seed) in
+          let pos = ref 0 in
+          while !pos < Bytes.length buf do
+            let rem = Bytes.length buf - !pos in
+            let cut, p =
+              Search_numerics.Prng.int ~bound:(Int.min rem 23) !prng
+            in
+            prng := p;
+            let len = 1 + cut in
+            (* drain between feeds too: interleaving feed/next must not
+               disturb reassembly *)
+            drain ();
+            P.Frame.Decoder.feed d buf ~off:!pos ~len;
+            pos := !pos + len
+          done)
+    in
+    check_bool
+      (Printf.sprintf "chunking seed %d matches whole-stream decode" seed)
+      true
+      (List.equal String.equal whole chunked)
+  done
+
 let test_frame_oversized_is_sticky_corrupt () =
   let d = P.Frame.Decoder.create ~max_frame:16 () in
   P.Frame.Decoder.feed_string d (P.Frame.encode (String.make 64 'x'));
@@ -364,6 +425,50 @@ let test_server_end_to_end () =
           ()));
   check_bool "socket removed on shutdown" true (not (Sys.file_exists sock))
 
+(* regression: Server.run's teardown must close the listener AND every
+   live connection fd, even when clients are still connected at stop
+   time — counted via /proc/self/fd (skipped where /proc is absent) *)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_server_teardown_closes_connection_fds () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else begin
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fs-serve-fds-%d.sock" (Unix.getpid ()))
+    in
+    Pool.with_pool ~jobs:1 @@ fun pool ->
+    let baseline = count_fds () in
+    let dispatch = Dispatch.create ~pool () in
+    let stop = Atomic.make false in
+    let config = Server.config ~socket_path:sock () in
+    let server = Domain.spawn (fun () -> Server.run config ~dispatch ~stop) in
+    let rec await_socket tries =
+      if tries <= 0 then Alcotest.fail "server did not come up"
+      else if Sys.file_exists sock then ()
+      else begin
+        Unix.sleepf 0.02;
+        await_socket (tries - 1)
+      end
+    in
+    await_socket 250;
+    (* three clients, all still connected when the server stops *)
+    let clients =
+      List.init 3 (fun i ->
+          let c = Client.connect ~socket_path:sock () in
+          let id, _ = Client.call c ~id:i (P.Bound { m = 2; k = 3; f = 1 }) in
+          check_int "served before shutdown" i id;
+          c)
+    in
+    check_bool "connections hold fds while live" true (count_fds () > baseline);
+    Atomic.set stop true;
+    Domain.join server;
+    (* server side fully torn down: only the 3 client-side fds remain *)
+    List.iter Client.close clients;
+    check_int "no fd leaked by server teardown" baseline (count_fds ());
+    check_bool "socket file removed" true (not (Sys.file_exists sock))
+  end
+
 let test_server_rejects_malformed_frame () =
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -448,6 +553,8 @@ let () =
           tc "torn frames await more input" `Quick
             test_frame_roundtrip_and_torn;
           tc "byte-at-a-time reassembly" `Quick test_frame_byte_at_a_time;
+          tc "adversarial chunkings match whole-stream decode" `Quick
+            test_frame_adversarial_chunkings;
           tc "oversized length is sticky corrupt" `Quick
             test_frame_oversized_is_sticky_corrupt;
           tc "negative length is corrupt" `Quick
@@ -471,6 +578,8 @@ let () =
         [
           tc "end-to-end calls, pipelining, clean shutdown" `Quick
             test_server_end_to_end;
+          tc "teardown closes every live connection fd" `Quick
+            test_server_teardown_closes_connection_fds;
           tc "malformed frames get structured errors" `Quick
             test_server_rejects_malformed_frame;
         ] );
