@@ -50,11 +50,24 @@ let alpha_arg =
   let doc = "Base of the exponential strategy (default: the optimal one)." in
   Arg.(value & opt (some float) None & info [ "alpha" ] ~docv:"ALPHA" ~doc)
 
+(* File helpers: close on every path, including raising ones, so a
+   failed write/parse does not leak the descriptor.  [close_out_noerr]
+   in the finally preserves the original exception. *)
+let with_out_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let with_params m k f yield =
   match FS.Params.make ~m ~k ~f with
   | p -> yield p
-  | exception FS.Params.Invalid msg ->
-      Format.eprintf "invalid parameters: %s@." msg;
+  | exception FS.Search_error.Error (FS.Search_error.Regime_violation _ as e) ->
+      Format.eprintf "invalid parameters: %s@." (FS.Search_error.to_string e);
       exit_usage
 
 (* ------------------------------------------------------------------ *)
@@ -94,8 +107,9 @@ let simulate_run m k f n alpha =
       exit_usage
   | problem -> (
       match FS.Solve.solve ?alpha problem with
-      | exception FS.Solve.Unsolvable msg ->
-          Format.eprintf "unsolvable: %s@." msg;
+      | exception
+          FS.Search_error.Error (FS.Search_error.Regime_violation _ as e) ->
+          Format.eprintf "unsolvable: %s@." (FS.Search_error.to_string e);
           exit_usage
       | solution ->
           let report = FS.Verify.verify solution in
@@ -211,10 +225,9 @@ let certify_run m k f n lambda json_out jobs grid kernel =
             FS.Certificate_io.export_string ~pretty:true ~setting ~k ~demand
               ~lambda ~n verdict
           in
-          let oc = open_out path in
-          output_string oc s;
-          output_char oc '\n';
-          close_out oc;
+          with_out_file path (fun oc ->
+              output_string oc s;
+              output_char oc '\n');
           Format.printf "certificate written to %s@." path
       | None -> ());
       let lhb =
@@ -253,13 +266,7 @@ let cert_file_arg =
 
 let recheck_run m k f file =
   with_params m k f @@ fun p ->
-  let contents =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
+  let contents = read_file file in
   match FS.Certificate_io.parse_string contents with
   | Error msg ->
       Format.eprintf "cannot parse certificate: %s@." msg;
@@ -459,8 +466,9 @@ let sweep_run m k f n samples jobs chaos_seed retries checkpoint out kernel
       | None -> print_string text
       | Some file ->
           let oc = open_out_bin file in
-          output_string oc text;
-          close_out oc;
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc text);
           Format.printf "sweep table written to %s@." file);
       if !failed = 0 then exit_ok else exit_internal
 
@@ -665,16 +673,15 @@ let report_run m k f n out =
       exit_usage
   | problem -> (
       match FS.Report.build problem with
-      | exception FS.Solve.Unsolvable msg ->
-          Format.eprintf "unsolvable: %s@." msg;
+      | exception
+          FS.Search_error.Error (FS.Search_error.Regime_violation _ as e) ->
+          Format.eprintf "unsolvable: %s@." (FS.Search_error.to_string e);
           exit_usage
       | report ->
           let md = FS.Report.to_markdown report in
           if out = "-" then print_string md
           else begin
-            let oc = open_out out in
-            output_string oc md;
-            close_out oc;
+            with_out_file out (fun oc -> output_string oc md);
             Format.printf "report written to %s@." out
           end;
           exit_ok)
@@ -808,6 +815,15 @@ let hotpath_arg =
   in
   Arg.(value & flag & info [ "hotpath" ] ~doc)
 
+let escape_arg =
+  let doc =
+    "Also run the escape analyses over the .cmt artefacts: exception \
+     flow out of public boundaries, resource-release discipline on \
+     acquisition sites, and real-I/O hygiene of the simulation seam.  \
+     Build first: $(b,dune build @all)."
+  in
+  Arg.(value & flag & info [ "escape" ] ~doc)
+
 let strict_arg =
   let doc =
     "Fail (exit 1) when lint.allow or lint.budget contains stale \
@@ -819,18 +835,21 @@ let strict_arg =
 (* Exit codes follow the CLI-wide contract: 0 clean, 1 verified finding
    (or, under --strict, a stale allowlist/budget entry), 2 usage, 3
    internal (the tree itself could not be parsed/loaded). *)
-let lint_run root format rules deep hotpath strict jobs =
+let lint_run root format rules deep hotpath escape strict jobs =
   if not (check_jobs jobs) then exit_usage
   else
     let module A = FS.Analysis in
     match rules with
     | Some "list" ->
         List.iter
-          (fun r ->
-            Format.printf "%-24s %-7s %s@." r.A.Rules.id
-              (A.Finding.severity_to_string r.A.Rules.severity)
-              r.A.Rules.doc)
-          A.Rules.all;
+          (fun e ->
+            Format.printf "%-24s %-9s %s%s@." e.A.Catalogue.id
+              (A.Catalogue.family_to_string e.A.Catalogue.family)
+              e.A.Catalogue.doc
+              (match A.Catalogue.family_flag e.A.Catalogue.family with
+              | Some flag -> Printf.sprintf " (under %s)" flag
+              | None -> ""))
+          A.Catalogue.all;
         0
     | _ -> (
         let rules = Option.map (String.split_on_char ',') rules in
@@ -845,7 +864,8 @@ let lint_run root format rules deep hotpath strict jobs =
             exit_usage
         | Ok (allow, budget) -> (
             match
-              A.Driver.run ?jobs ?rules ~deep ~hotpath ~allow ~budget ~root ()
+              A.Driver.run ?jobs ?rules ~deep ~hotpath ~escape ~allow ~budget
+                ~root ()
             with
             | exception Invalid_argument msg ->
                 Format.eprintf "lint: %s@." msg;
@@ -863,13 +883,14 @@ let lint_cmd =
     "Determinism & numeric-safety lint over lib/, bin/, bench/ and test/ \
      (exit 1 on any finding not suppressed by lint.allow; with --deep, \
      also the typed interprocedural analyses; with --hotpath, the \
-     hot-path allocation/blocking analyses)."
+     hot-path allocation/blocking analyses; with --escape, the \
+     exception-flow/leak/sim-hygiene analyses)."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
       const lint_run $ root_arg $ format_arg $ rules_arg $ deep_arg
-      $ hotpath_arg $ strict_arg $ jobs_arg)
+      $ hotpath_arg $ escape_arg $ strict_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1147,8 +1168,11 @@ let main_cmd =
    parse/term errors are usage (2); an escaping exception — including a
    [Search_error] no subcommand translated — is an internal error (3). *)
 (* whole-system invariants hook into the fuzz catalogue at startup (the
-   registry breaks the dst -> serve -> core -> check dependency cycle) *)
+   registry breaks the dst -> serve -> core -> check dependency cycle);
+   the escape self-lint rides the same hook so `fuzz` runs also guard
+   the tree's exception/resource/sim-hygiene discipline *)
 let () = Dst.register_invariant ()
+let () = FS.Check.Invariant.register_escape_invariant ()
 
 let () =
   exit

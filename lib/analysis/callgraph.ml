@@ -55,7 +55,9 @@ type alloc_kind =
   | Alloc_call of string
 
 type alloc = { akind : alloc_kind; aloc : Location.t }
-type hcall = { hname : string; hloc : Location.t }
+type hcall = { hname : string; hloc : Location.t; hcaught : string list }
+
+type raise_site = { exn : string; xloc : Location.t; xcaught : string list }
 
 type def = {
   name : string;
@@ -67,10 +69,13 @@ type def = {
   protects : protect_event list;
   allocs : alloc list;
   hcalls : hcall list;
+  raises : raise_site list;
   pool_entry : bool;
   hot : bool;
   event_loop : bool;
   nonblocking : bool;
+  releases : bool;
+  real_io : bool;
 }
 
 type summary = {
@@ -221,6 +226,7 @@ type acc = {
   mutable a_protects : protect_event list;
   mutable a_allocs : alloc list;
   mutable a_hcalls : hcall list;
+  mutable a_raises : raise_site list;
 }
 
 let empty_summary u =
@@ -268,9 +274,13 @@ let summarize (u : Cmt_loader.unit_info) =
           a_protects = [];
           a_allocs = [];
           a_hcalls = [];
+          a_raises = [];
         }
       in
       let held = ref [] in
+      (* exception constructor names with a handler lexically in scope
+         at the current program point; ["*"] is a catch-all pattern *)
+      let caught = ref [] in
       let current = ref (fresh_acc ()) in
       (* > 0 while walking the argument subtree of a raiser: cold-path
          allocations and calls are exempt from the hot-path budget *)
@@ -281,7 +291,20 @@ let summarize (u : Cmt_loader.unit_info) =
       in
       let record_hcall hloc hname =
         if !raise_depth = 0 then
-          !current.a_hcalls <- { hname; hloc } :: !current.a_hcalls
+          !current.a_hcalls <-
+            { hname; hloc; hcaught = !caught } :: !current.a_hcalls
+      in
+      let record_raise xloc exn =
+        !current.a_raises <-
+          { exn; xloc; xcaught = !caught } :: !current.a_raises
+      in
+      let with_caught names f =
+        if names = [] then f ()
+        else begin
+          let saved = !caught in
+          caught := names @ saved;
+          Fun.protect ~finally:(fun () -> caught := saved) f
+        end
       in
       let is_float_ty ty =
         match Types.get_desc ty with
@@ -331,6 +354,36 @@ let summarize (u : Cmt_loader.unit_info) =
           when List.length fs = List.length as_ ->
             List.exists2 instantiates_float fs as_
         | _ -> false
+      in
+      (* Exception-constructor identity.  Extension constructors carry
+         their full path in the tag; [canon] resolves it like any other
+         reference (local exceptions through the stamp table, foreign
+         ones through the alias pass in [build]).  Predef and otherwise
+         unresolvable constructors fall back to the bare name. *)
+      let exn_ctor_name (cd : Types.constructor_description) =
+        match cd.Types.cstr_tag with
+        | Types.Cstr_extension (path, _) -> (
+            match canon path with Some n -> n | None -> cd.Types.cstr_name)
+        | _ -> cd.Types.cstr_name
+      in
+      (* constructor names a handler pattern catches; ["*"] when it is a
+         catch-all (variable/wildcard) or too complex to name *)
+      let rec handler_pat_names (p : Typedtree.pattern) =
+        match p.Typedtree.pat_desc with
+        | Typedtree.Tpat_construct (_, cd, _, _) -> [ exn_ctor_name cd ]
+        | Typedtree.Tpat_alias (sub, _, _) -> handler_pat_names sub
+        | Typedtree.Tpat_or (a, b, _) ->
+            handler_pat_names a @ handler_pat_names b
+        | _ -> [ "*" ]
+      in
+      (* the exception argument of [raise]/[raise_with_backtrace]: a
+         literal constructor names itself, anything else is unknown *)
+      let exn_of_arg (args : Typedtree.expression list) =
+        match args with
+        | { Typedtree.exp_desc = Typedtree.Texp_construct (_, cd, _); _ } :: _
+          ->
+            exn_ctor_name cd
+        | _ -> "*"
       in
       (* expression walker: records references, write-mutations and
          Mutex.protect nesting into [current], in context [held] *)
@@ -451,6 +504,36 @@ let summarize (u : Cmt_loader.unit_info) =
         | Typedtree.Texp_lazy _ ->
             record_alloc e.Typedtree.exp_loc Lazy_block;
             super.Tast_iterator.expr self e
+        | Typedtree.Texp_try (body, cases) ->
+            (* guarded handlers re-raise when the guard fails, so only
+               unguarded cases establish handler context for the body *)
+            let names =
+              List.concat_map
+                (fun (c : Typedtree.value Typedtree.case) ->
+                  if c.Typedtree.c_guard <> None then []
+                  else handler_pat_names c.Typedtree.c_lhs)
+                cases
+            in
+            with_caught names (fun () -> self.Tast_iterator.expr self body);
+            List.iter (self.Tast_iterator.case self) cases
+        | Typedtree.Texp_match (scrut, cases, _) ->
+            (* [match e with ... | exception P -> ...] handles P around
+               the scrutinee only, not around the case bodies *)
+            let names =
+              List.concat_map
+                (fun (c : Typedtree.computation Typedtree.case) ->
+                  if c.Typedtree.c_guard <> None then []
+                  else
+                    match snd (Typedtree.split_pattern c.Typedtree.c_lhs) with
+                    | Some p -> handler_pat_names p
+                    | None -> [])
+                cases
+            in
+            with_caught names (fun () -> self.Tast_iterator.expr self scrut);
+            List.iter (self.Tast_iterator.case self) cases
+        | Typedtree.Texp_assert (cond, _) ->
+            record_raise e.Typedtree.exp_loc "Assert_failure";
+            self.Tast_iterator.expr self cond
         | _ -> super.Tast_iterator.expr self e
       and handle_app self app fn args =
         match fn.Typedtree.exp_desc with
@@ -510,8 +593,26 @@ let summarize (u : Cmt_loader.unit_info) =
                     | None -> ())
                 | _ -> ())
             | _ -> ());
+            (match Option.map strip_stdlib fn_name with
+            | Some "Printexc.raise_with_backtrace" ->
+                record_raise app.Typedtree.exp_loc (exn_of_arg args)
+            | _ -> ());
             (match fn_name with
             | Some n when is_raiser n ->
+                (let nn = strip_stdlib n in
+                 let ends s =
+                   String.equal nn s
+                   || String.ends_with ~suffix:("." ^ s) nn
+                 in
+                 let exn =
+                   if ends "failwith" then "Failure"
+                   else if ends "invalid_arg" then "Invalid_argument"
+                   else if
+                     ends "Search_error.invalid" || ends "Search_error.raise_"
+                   then "Search_error.Error"
+                   else exn_of_arg args
+                 in
+                 record_raise app.Typedtree.exp_loc exn);
                 (* cold path: the raiser's argument subtree is exempt
                    from allocation and hot-call accounting *)
                 self.Tast_iterator.expr self fn;
@@ -615,10 +716,13 @@ let summarize (u : Cmt_loader.unit_info) =
             protects = List.rev acc.a_protects;
             allocs = List.rev acc.a_allocs;
             hcalls = List.rev acc.a_hcalls;
+            raises = List.rev acc.a_raises;
             pool_entry = has "pool_entry";
             hot = has "hot";
             event_loop = has "event_loop";
             nonblocking = has "nonblocking";
+            releases = has "releases";
+            real_io = has "real_io";
           }
           :: !defs
       in
@@ -690,6 +794,13 @@ let summarize (u : Cmt_loader.unit_info) =
             in
             current := acc;
             it.Tast_iterator.expr it e
+        | Typedtree.Tstr_exception ext ->
+            (* register the constructor so in-unit raise sites and
+               handlers canonicalise to the same dotted name foreign
+               units resolve to *)
+            let ec = ext.Typedtree.tyexn_constructor in
+            bind ec.Typedtree.ext_id
+              (prefix ^ "." ^ ec.Typedtree.ext_name.Location.txt)
         | Typedtree.Tstr_module mb -> walk_module prefix mb
         | Typedtree.Tstr_recmodule mbs -> List.iter (walk_module prefix) mbs
         | Typedtree.Tstr_include incl ->
@@ -747,10 +858,13 @@ let summarize (u : Cmt_loader.unit_info) =
               protects = List.rev acc.a_protects;
               allocs = List.rev acc.a_allocs;
               hcalls = List.rev acc.a_hcalls;
+              raises = List.rev acc.a_raises;
               pool_entry = false;
               hot = false;
               event_loop = false;
               nonblocking = false;
+              releases = false;
+              real_io = false;
             }
             :: !defs
       | None -> ());
@@ -854,7 +968,16 @@ let build summaries =
                               outer = List.map resolve p.outer })
                   d.protects;
               hcalls =
-                List.map (fun h -> { h with hname = resolve h.hname }) d.hcalls;
+                List.map
+                  (fun h -> { h with hname = resolve h.hname;
+                              hcaught = List.map resolve h.hcaught })
+                  d.hcalls;
+              raises =
+                List.map
+                  (fun (x : raise_site) ->
+                    { x with exn = resolve x.exn;
+                      xcaught = List.map resolve x.xcaught })
+                  d.raises;
             }
           in
           if not (Hashtbl.mem defs d.name) then Hashtbl.add defs d.name d;

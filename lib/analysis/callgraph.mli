@@ -53,10 +53,22 @@ type alloc = { akind : alloc_kind; aloc : Location.t }
     used only via [!]/[:=]/[incr]/[decr] is compiled unboxed and not
     recorded either. *)
 
-type hcall = { hname : string; hloc : Location.t }
+type hcall = { hname : string; hloc : Location.t; hcaught : string list }
 (** A call site: an ident in function position after [@@]/[|>]
     flattening.  The interprocedural hot-path traversals follow these,
-    not plain {!reference}s — referencing a value does not execute it. *)
+    not plain {!reference}s — referencing a value does not execute it.
+    [hcaught] lists the exception constructors with an unguarded
+    handler lexically in scope at the call site (["*"] = catch-all);
+    the exception-flow pass subtracts them from the callee's may-raise
+    set. *)
+
+type raise_site = { exn : string; xloc : Location.t; xcaught : string list }
+(** One static raise: a [raise]/[raise_notrace]/[failwith]/
+    [invalid_arg]/[assert]/[Search_error] helper application or
+    [Printexc.raise_with_backtrace].  [exn] is the canonical
+    constructor name when it is syntactically evident (a literal
+    construct argument, or implied by the raiser) and ["*"] otherwise;
+    [xcaught] is the handler context as for {!hcall}. *)
 
 type def = {
   name : string;
@@ -68,10 +80,17 @@ type def = {
   protects : protect_event list;
   allocs : alloc list;
   hcalls : hcall list;
+  raises : raise_site list;
   pool_entry : bool;  (** carries [[@pool_entry]] *)
   hot : bool;  (** carries [[@hot]]: an allocation-budget root *)
   event_loop : bool;  (** carries [[@event_loop]]: a blocking-rule root *)
   nonblocking : bool;  (** carries [[@nonblocking]]: audited barrier *)
+  releases : bool;
+      (** carries [[@releases]]: audited to release what it acquires on
+          every path, including raising ones *)
+  real_io : bool;
+      (** carries [[@real_io]]: audited barrier the sim-hygiene
+          traversal does not look through *)
 }
 
 type summary = {

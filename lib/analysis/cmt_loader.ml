@@ -86,6 +86,63 @@ let load ~build_dir cmt_path =
           structure;
         }
 
+(* ------------------------------------------------------------------ *)
+(* interfaces                                                          *)
+
+(* The exception-flow pass needs to know which defs are *public*: a
+   unit's [.cmti] records the type-checked signature, and the dotted
+   value names in it (recursing into plain submodule signatures) are
+   exactly the exported surface.  Module aliases and abstract module
+   types contribute nothing — an under-approximation of the export set,
+   which only ever makes the pass quieter. *)
+
+let is_cmti name = Filename.check_suffix name ".cmti"
+
+let discover_interfaces ~build_dir ~dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat build_dir rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false -> if is_cmti rel then acc := rel :: !acc
+    | true ->
+        Array.iter
+          (fun entry -> walk (rel ^ "/" ^ entry))
+          (let entries = Sys.readdir abs in
+           Array.sort String.compare entries;
+           entries)
+  in
+  List.iter
+    (fun dir ->
+      if Sys.file_exists (Filename.concat build_dir dir) then walk dir)
+    dirs;
+  List.sort String.compare !acc
+
+let rec exports_of_signature prefix (sg : Types.signature) =
+  List.concat_map
+    (function
+      | Types.Sig_value (id, _, _) -> [ prefix ^ Ident.name id ]
+      | Types.Sig_module (id, _, md, _, _) -> (
+          match md.Types.md_type with
+          | Types.Mty_signature sub ->
+              exports_of_signature (prefix ^ Ident.name id ^ ".") sub
+          | _ -> [])
+      | _ -> [])
+    sg
+
+let load_interface ~build_dir cmti_path =
+  let abs = Filename.concat build_dir cmti_path in
+  match Mutex.protect read_mutex (fun () -> Cmt_format.read_cmt abs) with
+  | exception _ -> None
+  | cmt -> (
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Interface tsig ->
+          Some
+            ( cmt.Cmt_format.cmt_modname,
+              List.sort String.compare
+                (exports_of_signature "" tsig.Typedtree.sig_type) )
+      | _ -> None)
+
 (* One unit per compilation-unit name: dune may leave both fresh and
    stale spellings around (e.g. a shared test [dune__exe] wrapper); the
    sorted first occurrence wins, deterministically. *)

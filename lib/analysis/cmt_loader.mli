@@ -31,3 +31,15 @@ val load : build_dir:string -> string -> (unit_info, Finding.t) result
 
 val dedup : unit_info list -> unit_info list
 (** Keep the first unit per compilation-unit name (input order). *)
+
+val discover_interfaces : build_dir:string -> dirs:string list -> string list
+(** All [.cmti] paths under [dirs], sorted; relative to [build_dir]. *)
+
+val load_interface : build_dir:string -> string -> (string * string list) option
+(** [(modname, exported dotted value names)] from one [.cmti]: the
+    type-checked signature's [Sig_value] names, recursing into plain
+    submodule signatures ([include module type of ...] is already
+    expanded there).  Module aliases and abstract module types are
+    skipped — the export set is an under-approximation, which only
+    makes the exception-flow pass quieter.  [None] when the artefact
+    cannot be loaded or is not an interface. *)

@@ -12,7 +12,7 @@
 
 module Par = Search_exec.Par
 
-let collect ~pool ~deep ~hotpath ~audited ~budget ~dirs ~root =
+let collect ~pool ~deep ~hotpath ~escape ~audited ~budget ~dirs ~root =
   let build_dir = Cmt_loader.build_dir ~root in
   let paths = Cmt_loader.discover ~build_dir ~dirs in
   let loaded = Par.parallel_map pool paths ~f:(Cmt_loader.load ~build_dir) in
@@ -34,4 +34,17 @@ let collect ~pool ~deep ~hotpath ~audited ~budget ~dirs ~root =
       (Hotpath.findings ~budget graph, Hotpath.stale_budget ~budget graph)
     else ([], [])
   in
-  (load_findings @ deep_findings @ hot_findings, List.length units, budget_stale)
+  let escape_findings =
+    if escape then
+      let ipaths = Cmt_loader.discover_interfaces ~build_dir ~dirs in
+      let exports =
+        List.filter_map Fun.id
+          (Par.parallel_map pool ipaths
+             ~f:(Cmt_loader.load_interface ~build_dir))
+      in
+      Escape.findings ~exports graph
+    else []
+  in
+  ( load_findings @ deep_findings @ hot_findings @ escape_findings,
+    List.length units,
+    budget_stale )

@@ -1,12 +1,13 @@
 (** Orchestration of the cmt-backed analysis families
     ({!Cmt_loader} → {!Callgraph} → {!Taint} + {!Lockset} under
-    [~deep], {!Hotpath} under [~hotpath]; the call graph is built once
-    and shared). *)
+    [~deep], {!Hotpath} under [~hotpath], {!Escape} under [~escape];
+    the call graph is built once and shared). *)
 
 val collect :
   pool:Search_exec.Pool.t ->
   deep:bool ->
   hotpath:bool ->
+  escape:bool ->
   audited:(string -> bool) ->
   budget:Budget.t ->
   dirs:string list ->

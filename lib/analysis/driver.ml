@@ -12,22 +12,25 @@ type outcome = {
   budget_stale : (string * int) list;
 }
 
-(* Rules that only fire under --deep / --hotpath: their allowlist
-   entries are out of scope for staleness when the owning pass did not
-   run.  [cmt-load] belongs to both (either pass loads artefacts). *)
-let deep_rule_ids = [ "deep-nondet"; "deep-race"; "deep-lock-order" ]
-let hotpath_rule_ids = [ "hotpath-alloc"; "hotpath-blocking" ]
-
-let rule_in_scope ~deep ~hotpath rule =
-  if List.mem rule deep_rule_ids then deep
-  else if List.mem rule hotpath_rule_ids then hotpath
-  else if String.equal rule "cmt-load" then deep || hotpath
-  else true
+(* Stale-allowlist scoping is catalogue-driven: a gated family's
+   entries are out of scope when the owning pass did not run, and an
+   entry naming a rule the catalogue does not know is always in scope
+   (and thus reported stale).  [cmt-load] belongs to every cmt-backed
+   family (any of them loads artefacts). *)
+let rule_in_scope ~deep ~hotpath ~escape rule =
+  match Catalogue.find rule with
+  | Some { Catalogue.family = Catalogue.Deep; _ } -> deep
+  | Some { Catalogue.family = Catalogue.Hotpath; _ } -> hotpath
+  | Some { Catalogue.family = Catalogue.Escape; _ } -> escape
+  | Some { Catalogue.family = Catalogue.Internal; _ }
+    when String.equal rule "cmt-load" ->
+      deep || hotpath || escape
+  | _ -> true
 
 (* Findings that mean the analysis itself could not do its job; the
    exit-code contract reports them as internal (3), not as lint
    verdicts (1). *)
-let internal_rule_ids = [ "parse"; "cmt-load" ]
+let internal_rule_ids = Catalogue.ids_of Catalogue.Internal
 
 let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
 
@@ -58,8 +61,9 @@ let lint_string ?rules ?(has_mli = true) ~path contents =
   | Error finding -> [ finding ]
   | Ok src -> List.sort_uniq Finding.compare (check_source ?rules ~has_mli src)
 
-let run ?jobs ?rules ?(deep = false) ?(hotpath = false) ?(dirs = default_dirs)
-    ?(allow = Allow.empty) ?(budget = Budget.empty) ~root () =
+let run ?jobs ?rules ?(deep = false) ?(hotpath = false) ?(escape = false)
+    ?(dirs = default_dirs) ?(allow = Allow.empty) ?(budget = Budget.empty)
+    ~root () =
   validate_rules rules;
   let paths = Source.discover ~root ~dirs in
   let mli_present =
@@ -78,10 +82,10 @@ let run ?jobs ?rules ?(deep = false) ?(hotpath = false) ?(dirs = default_dirs)
   let per_file, cmt_findings, units, budget_stale =
     Pool.with_pool ?jobs @@ fun pool ->
     let per_file = Par.parallel_map pool paths ~f:check in
-    if deep || hotpath then
+    if deep || hotpath || escape then
       let audited file = Allow.permits allow ~rule:"deep-nondet" ~file in
       let dfs, units, budget_stale =
-        Deep.collect ~pool ~deep ~hotpath ~audited ~budget ~dirs ~root
+        Deep.collect ~pool ~deep ~hotpath ~escape ~audited ~budget ~dirs ~root
       in
       (per_file, dfs, units, budget_stale)
     else (per_file, [], 0, [])
@@ -96,7 +100,9 @@ let run ?jobs ?rules ?(deep = false) ?(hotpath = false) ?(dirs = default_dirs)
       all
   in
   let stale =
-    Allow.stale allow ~in_scope:(rule_in_scope ~deep ~hotpath) ~findings:all
+    Allow.stale allow
+      ~in_scope:(rule_in_scope ~deep ~hotpath ~escape)
+      ~findings:all
   in
   {
     findings = kept;

@@ -35,6 +35,7 @@ val run :
   ?rules:string list ->
   ?deep:bool ->
   ?hotpath:bool ->
+  ?escape:bool ->
   ?dirs:string list ->
   ?allow:Allow.t ->
   ?budget:Budget.t ->
@@ -47,10 +48,13 @@ val run :
     [Invalid_argument]).  [deep] (default false) additionally runs the
     typed interprocedural family ({!Taint} + {!Lockset}); [hotpath]
     (default false) the hot-path performance family ({!Hotpath},
-    checked against [budget]).  Either flag loads the [.cmt] artefacts
-    dune emitted for the tree; the call graph is built once and
-    shared.  [jobs] sizes the {!Search_exec.Pool} used to fan files
-    (and cmt units) out across domains. *)
+    checked against [budget]); [escape] (default false) the escape
+    family ({!Escape}: exception flow, release discipline, sim
+    hygiene, with [.cmti] export sets deciding what is public).  Any
+    of these flags loads the [.cmt] artefacts dune emitted for the
+    tree; the call graph is built once and shared.  [jobs] sizes the
+    {!Search_exec.Pool} used to fan files (and cmt units) out across
+    domains. *)
 
 val exit_code : ?strict:bool -> outcome -> int
 (** The lint exit-code contract (same scheme as the CLI at large):

@@ -1,12 +1,13 @@
+module E = Search_numerics.Search_error
+
 type t = { m : int; k : int; f : int }
 
-exception Invalid of string
-
 let make ~m ~k ~f =
-  if m < 2 then raise (Invalid (Printf.sprintf "m = %d, need m >= 2" m));
-  if k < 1 then raise (Invalid (Printf.sprintf "k = %d, need k >= 1" k));
+  let reject what = E.raise_ (E.Regime_violation { m; k; f; what }) in
+  if m < 2 then reject (Printf.sprintf "m = %d, need m >= 2" m);
+  if k < 1 then reject (Printf.sprintf "k = %d, need k >= 1" k);
   if f < 0 || f > k then
-    raise (Invalid (Printf.sprintf "f = %d, need 0 <= f <= k = %d" f k));
+    reject (Printf.sprintf "f = %d, need 0 <= f <= k = %d" f k);
   { m; k; f }
 
 let line ~k ~f = make ~m:2 ~k ~f

@@ -8,11 +8,10 @@
 
 type t = private { m : int; k : int; f : int }
 
-exception Invalid of string
-
 val make : m:int -> k:int -> f:int -> t
 (** Validates [m >= 2], [k >= 1], [0 <= f <= k].
-    @raise Invalid otherwise. *)
+    @raise Search_numerics.Search_error.Error
+      ([Regime_violation]) otherwise. *)
 
 val line : k:int -> f:int -> t
 (** The line instance: [make ~m:2 ~k ~f]. *)

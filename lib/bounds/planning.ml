@@ -1,6 +1,8 @@
 let achievable ~m ~k ~f ~lambda =
   match Params.make ~m ~k ~f with
-  | exception Params.Invalid _ -> false
+  | exception Search_numerics.Search_error.Error
+      (Search_numerics.Search_error.Regime_violation _) ->
+      false
   | p -> (
       match Params.regime p with
       | Params.Unsolvable -> false

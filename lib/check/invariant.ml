@@ -449,7 +449,7 @@ let inv_normalize ctx =
   let n = Float.min ctx.cover_n 30. in
   let orc_part =
     match Normalize.fruitful_only_orc ~mu t0 with
-    | exception Normalize.Diverged _ -> []
+    | exception E.Error (E.Non_convergence _) -> []
     | norm -> (
         try
           let before = Orc.max_covered [| t0 |] ~demand:1 ~lambda:ctx.lambda ~n in
@@ -478,16 +478,16 @@ let inv_normalize ctx =
                   failf "normalised turn %d = %.17g is not an original turn" i v)
           in
           subseq 1 []
-        with Normalize.Diverged _ -> [])
+        with E.Error (E.Non_convergence _) -> [])
   in
   let line_part =
     match Normalize.fruitful_only_line ~mu t0 with
-    | exception Normalize.Diverged _ -> []
+    | exception E.Error (E.Non_convergence _) -> []
     | nl -> (
         try
           if Turning.nondecreasing_prefix nl ~n:8 then []
           else failf "line normalisation is not nondecreasing"
-        with Normalize.Diverged _ -> [])
+        with E.Error (E.Non_convergence _) -> [])
   in
   orc_part @ line_part
 
@@ -715,6 +715,36 @@ let register ~name run =
     then swap ()
   in
   swap ()
+
+(* analysis.escape_self_clean: the escape family ([--escape]) over the
+   repository's own artefacts, in the same once-per-process shape as
+   [analysis.self_clean].  It additionally needs the [.cmt] files dune
+   emitted: with no build tree next to the sources the driver analyses
+   zero units and the verdict is vacuously clean.  Registered through
+   the extension registry at startup rather than hard-wired into the
+   catalogue, so library users who never link a build tree do not pay
+   for the cmt pass. *)
+let escape_lint_violations =
+  lazy
+    (match lint_repo_root () with
+    | None -> []
+    | Some root -> (
+        match Search_analysis.Driver.load_allow ~root with
+        | Error msg -> failf "lint.allow unreadable: %s" msg
+        | Ok allow ->
+            let out =
+              Search_analysis.Driver.run ~jobs:1 ~rules:[] ~escape:true ~allow
+                ~root ()
+            in
+            List.map
+              (Format.asprintf "%a" Search_analysis.Finding.pp)
+              out.Search_analysis.Driver.findings))
+
+let inv_escape (_ : Case.t) =
+  Mutex.protect lint_force_mutex (fun () -> Lazy.force escape_lint_violations)
+
+let register_escape_invariant () =
+  register ~name:"analysis.escape_self_clean" inv_escape
 
 let sorted_extensions () =
   List.sort

@@ -63,6 +63,16 @@ val register : name:string -> (Case.t -> string list) -> unit
     the raw case (no [ctx]) and run after the built-in catalogue, in
     name order. *)
 
+val register_escape_invariant : unit -> unit
+(** Register [analysis.escape_self_clean] through {!register}: the
+    {!Search_analysis} escape family ([--escape] — exception flow,
+    release discipline, sim hygiene) over the repository's own build
+    artefacts reports nothing beyond the checked-in [lint.allow]
+    entries.  Like [analysis.self_clean] the verdict is computed once
+    per process; it is vacuously satisfied when the source tree — or
+    the [.cmt] build tree next to it — is not reachable from the
+    working directory. *)
+
 val check_case : Case.t -> violation list
 (** Run the whole catalogue (plus registered extensions) on one case.
     Deterministic: the violation list (contents and order) is a pure

@@ -17,7 +17,8 @@ val make :
   ?fault_kind:fault_kind -> ?horizon:float -> m:int -> k:int -> f:int -> unit
   -> t
 (** Defaults: [Crash] faults, horizon [1e4].
-    @raise Search_bounds.Params.Invalid on bad [(m, k, f)];
+    @raise Search_numerics.Search_error.Error ([Regime_violation]) on
+      bad [(m, k, f)];
     @raise Invalid_argument on a horizon [< 1.]. *)
 
 val line : ?fault_kind:fault_kind -> ?horizon:float -> k:int -> f:int -> unit -> t

@@ -24,7 +24,8 @@ type t = {
 val build : ?claimed_fraction:float -> Problem.t -> t
 (** Solve, verify, and certify the instance.  [claimed_fraction]
     (default 0.99) sets the sub-bound ratio the certificate is run at.
-    @raise Solve.Unsolvable for [f = k]. *)
+    @raise Search_numerics.Search_error.Error ([Regime_violation]) for
+      [f = k]. *)
 
 val to_markdown : t -> string
 (** A self-contained markdown document. *)

@@ -10,15 +10,20 @@ type solution = {
   exponential : Mray.t option; (* the underlying strategy, searching regime *)
 }
 
-exception Unsolvable of string
+module E = Search_numerics.Search_error
 
 let solve ?alpha problem =
   let params = problem.Problem.params in
   match Params.regime params with
   | Params.Unsolvable ->
-      raise
-        (Unsolvable
-           (Format.asprintf "%a: all robots may be faulty" Params.pp params))
+      E.raise_
+        (E.Regime_violation
+           {
+             m = params.Params.m;
+             k = params.Params.k;
+             f = params.Params.f;
+             what = "all robots may be faulty";
+           })
   | Params.Ratio_one ->
       let group = Group.optimal ?alpha params in
       {

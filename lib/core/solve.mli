@@ -18,10 +18,9 @@ type solution = private {
       (** the underlying exponential strategy (searching regime only) *)
 }
 
-exception Unsolvable of string
-
 val solve : ?alpha:float -> Problem.t -> solution
-(** @raise Unsolvable when [f = k]. *)
+(** @raise Search_numerics.Search_error.Error
+      ([Regime_violation]) when [f = k]. *)
 
 val trajectories : solution -> Search_sim.Trajectory.t array
 (** Compiled motion of every robot. *)

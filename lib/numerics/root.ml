@@ -1,11 +1,13 @@
-exception No_bracket of string
-
 let check_bracket ~who ~flo ~fhi lo hi =
   if flo *. fhi > 0. then
-    raise
-      (No_bracket
-         (Printf.sprintf "%s: f(%g)=%g and f(%g)=%g have the same sign" who lo
-            flo hi fhi))
+    Search_error.raise_
+      (Search_error.Invalid_input
+         {
+           where = who;
+           what =
+             Printf.sprintf "f(%g)=%g and f(%g)=%g have the same sign" lo flo
+               hi fhi;
+         })
 
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in

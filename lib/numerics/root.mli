@@ -4,9 +4,6 @@
     the lower-bound certificate stops refuting (experiment F5), or the ρ
     achieving a prescribed competitive ratio. *)
 
-exception No_bracket of string
-(** Raised when the supplied interval does not bracket a sign change. *)
-
 val bisect :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
 (** [bisect ~f lo hi] finds [x] in [[lo, hi]] with [f x = 0], assuming
@@ -14,7 +11,8 @@ val bisect :
     shorter than [tol] (default [1e-12] relative) or after [max_iter]
     (default 200) halvings.
 
-    @raise No_bracket if [f lo *. f hi > 0.]. *)
+    @raise Search_error.Error ([Invalid_input]) if [f lo *. f hi > 0.] —
+      the supplied interval does not bracket a sign change. *)
 
 val brent :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
@@ -22,7 +20,7 @@ val brent :
     safeguard.  Same contract as {!bisect}, typically an order of magnitude
     fewer evaluations.
 
-    @raise No_bracket if [f lo *. f hi > 0.]. *)
+    @raise Search_error.Error ([Invalid_input]) if [f lo *. f hi > 0.]. *)
 
 val expand_bracket :
   ?grow:float -> ?max_iter:int -> f:(float -> float) -> float -> float

@@ -75,7 +75,11 @@ let plan_equal a b =
   && List.equal String.equal a.kinds b.kinds
   && Float.equal a.delay b.delay
 
-let run t ~task ~attempt f =
+(* [@real_io]: the injected delay sleeps for real.  Chaos is a
+   production/bench-only knob — DST scenarios never construct a chaos
+   config, so the simulation stays on the virtual clock — which makes
+   this an audited barrier for the sim-hygiene pass. *)
+let[@real_io] run t ~task ~attempt f =
   match t with
   | None -> f ()
   | Some c ->

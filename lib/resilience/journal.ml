@@ -48,7 +48,10 @@ let load path table =
       in
       lines true)
 
-let open_ ~dir ~config =
+(* [@releases]: the append channel's ownership transfers to the
+   returned handle (Journal.close closes it); the only raising path
+   between open and return — the header write — closes it first. *)
+let[@releases] open_ ~dir ~config =
   let digest = Digest.to_hex (Digest.string (Json.to_string config)) in
   let path =
     Filename.concat dir ("journal-" ^ String.sub digest 0 12 ^ ".jsonl")
@@ -61,11 +64,15 @@ let open_ ~dir ~config =
       let oc =
         open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
       in
-      if fresh then begin
-        output_string oc (Json.to_string (header config));
-        output_char oc '\n';
-        flush oc
-      end;
+      (try
+         if fresh then begin
+           output_string oc (Json.to_string (header config));
+           output_char oc '\n';
+           flush oc
+         end
+       with Sys_error msg ->
+         close_out_noerr oc;
+         io path ("header write failed: " ^ msg));
       { path; table; mutex = Mutex.create (); oc = Some oc })
 
 let path t = t.path

@@ -46,9 +46,14 @@ let acquire ~clock ~stale_after ~give_up_after path =
       Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
     with
     | fd ->
+        (* the channel owns fd from here on; close it on every path,
+           including a failing write, or the descriptor leaks *)
         let oc = Unix.out_channel_of_descr fd in
-        Printf.fprintf oc "%d %.3f\n" (Unix.getpid ()) (clock.Clock.now ());
-        close_out_noerr oc
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Printf.fprintf oc "%d %.3f\n" (Unix.getpid ())
+              (clock.Clock.now ()))
     | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
         if waited > give_up_after then
           E.raise_

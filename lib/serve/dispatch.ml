@@ -64,8 +64,9 @@ let regime_string = function
   | FS.Params.Ratio_one -> "ratio-one"
   | FS.Params.Searching -> "searching"
 
-let params_or_invalid ~where ~m ~k ~f =
-  try FS.Params.make ~m ~k ~f with FS.Params.Invalid msg -> E.invalid ~where msg
+(* Params.make raises the taxonomy directly (Regime_violation), which
+   is exactly what the protocol error path wants. *)
+let params_or_invalid ~where:_ ~m ~k ~f = FS.Params.make ~m ~k ~f
 
 let eval_bound t meter ~m ~k ~f =
   Budget.step meter;

@@ -21,9 +21,17 @@ type t = T : 'fd ops -> t
 (* The production implementation: real Unix-domain sockets.  Non-
    blocking handlers fold EINTR into [`Again] (the caller loops through
    select anyway); blocking handlers retry EINTR internally, preserving
-   the old Client behaviour. *)
+   the old Client behaviour.
 
-let unix_listen ~path =
+   Every handler below is an audited [@real_io] barrier: this record is
+   the one place the serve layer touches the real OS, and the escape
+   analysis (lint --escape, escape-realio) checks that nothing else
+   reachable from the ops seam or the dst fibers does.  [@releases]
+   marks the two acquirers whose error paths close the descriptor
+   before re-raising (and whose success path transfers ownership to
+   the caller). *)
+
+let[@real_io] [@releases] unix_listen ~path =
   (try if Sys.file_exists path then Unix.unlink path
    with Unix.Unix_error _ | Sys_error _ -> ());
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -38,7 +46,7 @@ let unix_listen ~path =
       E.raise_
         (E.Io_failure { path; what = "bind: " ^ Unix.error_message err })
 
-let unix_accept fd =
+let[@real_io] [@releases] unix_accept fd =
   match Unix.accept ~cloexec:true fd with
   | exception
       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -48,7 +56,7 @@ let unix_accept fd =
       Unix.set_nonblock conn;
       `Conn conn
 
-let unix_read fd buf ~off ~len =
+let[@real_io] unix_read fd buf ~off ~len =
   match Unix.read fd buf off len with
   | exception
       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -57,7 +65,7 @@ let unix_read fd buf ~off ~len =
   | 0 -> `Eof
   | n -> `Data n
 
-let unix_write fd s ~off ~len =
+let[@real_io] unix_write fd s ~off ~len =
   match Unix.write_substring fd s off len with
   | exception
       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -65,21 +73,21 @@ let unix_write fd s ~off ~len =
   | exception Unix.Unix_error (err, _, _) -> `Err (Unix.error_message err)
   | n -> `Wrote n
 
-let unix_select ~read ~write ~timeout =
+let[@real_io] unix_select ~read ~write ~timeout =
   match Unix.select read write [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
   | readable, writable, _ -> (readable, writable)
 
-let unix_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let[@real_io] unix_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let unix_unlink path =
+let[@real_io] unix_unlink path =
   try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
 
-let unix_guard_sigpipe () =
+let[@real_io] unix_guard_sigpipe () =
   let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   fun () -> ignore (Sys.signal Sys.sigpipe prev)
 
-let unix_connect ~path =
+let[@real_io] [@releases] unix_connect ~path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX path) with
   | () -> fd
@@ -88,7 +96,7 @@ let unix_connect ~path =
       E.raise_
         (E.Io_failure { path; what = "connect: " ^ Unix.error_message err })
 
-let rec unix_read_blocking fd buf ~off ~len =
+let[@real_io] rec unix_read_blocking fd buf ~off ~len =
   match Unix.read fd buf off len with
   | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       unix_read_blocking fd buf ~off ~len
@@ -96,7 +104,7 @@ let rec unix_read_blocking fd buf ~off ~len =
   | 0 -> `Eof
   | n -> `Data n
 
-let rec unix_write_blocking fd s ~off ~len =
+let[@real_io] rec unix_write_blocking fd s ~off ~len =
   match Unix.write_substring fd s off len with
   | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       unix_write_blocking fd s ~off ~len

@@ -11,7 +11,8 @@ type result = {
   events : event list;
 }
 
-exception Invalid_claim of string
+let invalid_claim what =
+  Search_numerics.Search_error.invalid ~where:"Byzantine_sim.claim" what
 
 let event_time = function
   | Visit { time; _ } -> time
@@ -21,15 +22,14 @@ let event_time = function
 let validate_claim trajectories ~assignment (c : claim) =
   let n = Array.length trajectories in
   if c.robot < 0 || c.robot >= n then
-    raise (Invalid_claim (Printf.sprintf "robot %d out of range" c.robot));
+    invalid_claim (Printf.sprintf "robot %d out of range" c.robot);
   if not assignment.Fault.faulty.(c.robot) then
-    raise (Invalid_claim (Printf.sprintf "robot %d is honest, cannot lie" c.robot));
+    invalid_claim (Printf.sprintf "robot %d is honest, cannot lie" c.robot);
   let pos = Trajectory.position trajectories.(c.robot) c.at_time in
   if not (World.equal_point pos c.place) then
-    raise
-      (Invalid_claim
-         (Format.asprintf "robot %d is at %a, not at %a, at time %g" c.robot
-            World.pp_point pos World.pp_point c.place c.at_time))
+    invalid_claim
+      (Format.asprintf "robot %d is at %a, not at %a, at time %g" c.robot
+         World.pp_point pos World.pp_point c.place c.at_time)
 
 let run trajectories ~assignment ~lies ~target ~horizon =
   if assignment.Fault.kind <> Fault.Byzantine then

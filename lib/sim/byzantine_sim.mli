@@ -46,16 +46,15 @@ type result = {
   events : event list;  (** chronological *)
 }
 
-exception Invalid_claim of string
-(** Raised when a lie schedule announces from a place the robot does not
-    occupy at that time, or an honest robot is scheduled to lie. *)
-
 val run :
   Trajectory.t array -> assignment:Fault.assignment -> lies:claim list
   -> target:World.point -> horizon:float -> result
 (** Simulate: honest robots announce the target truthfully on every visit;
     faulty (Byzantine) robots are silent at the target and additionally
-    issue the [lies].  Requires [assignment.kind = Byzantine]. *)
+    issue the [lies].  Requires [assignment.kind = Byzantine].
+    @raise Search_numerics.Search_error.Error ([Invalid_input]) when a
+      lie schedule announces from a place the robot does not occupy at
+      that time, or an honest robot is scheduled to lie. *)
 
 val worst_case_detection :
   Trajectory.t array -> f:int -> target:World.point -> horizon:float

@@ -1,10 +1,13 @@
 module Lazy_seq = Search_numerics.Lazy_seq
+module E = Search_numerics.Search_error
 
 type leg = { ray : int; d_from : float; d_to : float; t_start : float }
 
 type t = { itinerary : Itinerary.t; legs : leg Lazy_seq.t }
 
-exception Stalled of string
+let stalled ~steps detail =
+  E.raise_
+    (E.Non_convergence { where = "Trajectory"; steps; detail })
 
 let default_max_legs = 2_000_000
 
@@ -36,10 +39,9 @@ let compile itinerary =
            scan so a constant itinerary raises instead of spinning. *)
         let rec advance i guard =
           if guard > 1000 then
-            raise
-              (Stalled
-                 (Printf.sprintf "%s: 1000 consecutive stationary waypoints"
-                    (Itinerary.label itinerary)))
+            stalled ~steps:guard
+              (Printf.sprintf "%s: 1000 consecutive stationary waypoints"
+                 (Itinerary.label itinerary))
           else
             let wp = Itinerary.waypoint itinerary i in
             if World.equal_point wp state.pos then advance (i + 1) (guard + 1)
@@ -91,10 +93,9 @@ let leg_end l = l.t_start +. duration l.d_from l.d_to
 let fold_legs t ~max_legs ~continue ~f init =
   let rec loop i acc =
     if i > max_legs then
-      raise
-        (Stalled
-           (Printf.sprintf "%s: exceeded %d legs within horizon" (label t)
-              max_legs))
+      stalled ~steps:max_legs
+        (Printf.sprintf "%s: exceeded %d legs within horizon" (label t)
+           max_legs)
     else
       let l = leg t i in
       if not (continue l) then acc else loop (i + 1) (f acc l)

@@ -29,13 +29,12 @@ val label : t -> string
 val leg : t -> int -> leg
 (** The i-th leg (1-based); zero-duration legs are elided. *)
 
-exception Stalled of string
-(** Raised when a strategy stops making progress: more than [max_legs]
-    consecutive legs fit under the queried horizon.  This catches malformed
-    strategies whose turning points stop growing. *)
-
 val position : ?max_legs:int -> t -> float -> World.point
-(** Location at a given time [>= 0.]; the robot starts at the origin. *)
+(** Location at a given time [>= 0.]; the robot starts at the origin.
+    @raise Search_numerics.Search_error.Error ([Non_convergence]) when a
+      strategy stops making progress: more than [max_legs] consecutive
+      legs fit under the queried horizon.  This catches malformed
+      strategies whose turning points stop growing. *)
 
 val first_visit : ?max_legs:int -> t -> target:World.point -> horizon:float -> float option
 (** Earliest time [<= horizon] at which the robot is at [target]. *)
@@ -62,7 +61,8 @@ type flat = private {
 
 val flatten : ?max_legs:int -> t -> horizon:float -> flat
 (** One lazy walk of the legs, then plain arrays.
-    @raise Stalled as {!position} would. *)
+    @raise Search_numerics.Search_error.Error ([Non_convergence]) as
+      {!position} would. *)
 
 val flat_first_visit : flat -> ray:int -> dist:float -> horizon:float -> float
 (** Earliest visit time of the non-origin target [(ray, dist)], or

@@ -1,5 +1,6 @@
 module Lazy_seq = Search_numerics.Lazy_seq
 module Stats = Search_numerics.Stats
+module E = Search_numerics.Search_error
 
 type move = { robot : int; target : World.point }
 
@@ -8,8 +9,6 @@ type t = {
   robots : int;
   moves : move Lazy_seq.t;
 }
-
-exception Stalled of string
 
 let make ~world ~robots moves =
   if robots < 1 then invalid_arg "Work_schedule.make: need robots >= 1";
@@ -66,7 +65,13 @@ let fold_moves ?(max_moves = 1_000_000) t ~continue ~f init =
   let positions = Array.make t.robots World.origin in
   let rec loop i acc =
     if i > max_moves then
-      raise (Stalled (Printf.sprintf "Work_schedule: exceeded %d moves" max_moves))
+      E.raise_
+        (E.Non_convergence
+           {
+             where = "Work_schedule";
+             steps = max_moves;
+             detail = Printf.sprintf "exceeded %d moves" max_moves;
+           })
     else
       let mv = move t i in
       let from_ = positions.(mv.robot) in
@@ -92,7 +97,7 @@ let work_to_visit ?max_moves t ~target ~work_budget =
           | Some _ | None -> ());
           work +. World.travel_distance from_ mv.target)
         0.
-    with Stalled _ -> work_budget +. 1.
+    with E.Error (E.Non_convergence _) -> work_budget +. 1.
   in
   ignore total;
   !result

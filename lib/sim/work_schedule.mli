@@ -30,14 +30,13 @@ val world : t -> World.t
 val robots : t -> int
 val move : t -> int -> move
 
-exception Stalled of string
-
 val work_to_visit :
   ?max_moves:int -> t -> target:World.point -> work_budget:float
   -> float option
 (** Total distance accumulated when the target is first passed (the final
     move counted only up to the target), or [None] if the budget is
-    exhausted first.  [max_moves] defaults to 1_000_000. *)
+    exhausted first.  [max_moves] defaults to 1_000_000; exceeding it
+    raises [Search_numerics.Search_error.Error] ([Non_convergence]). *)
 
 val move_endpoints :
   ?max_moves:int -> t -> work_budget:float -> (int * float) list

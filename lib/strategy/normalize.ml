@@ -1,4 +1,4 @@
-exception Diverged of string
+module E = Search_numerics.Search_error
 
 (* Both variants walk the original sequence, keeping a turn when it is
    fruitful w.r.t. the turns kept so far.  The kept partial sum and the
@@ -8,11 +8,16 @@ let transform ~scan_limit ~keep turns =
   let next (orig_i, sum_kept, prev_kept) =
     let rec scan i tries =
       if tries > scan_limit then
-        raise
-          (Diverged
-             (Printf.sprintf
-                "Normalize: no fruitful turn among %d candidates after index %d"
-                scan_limit orig_i))
+        E.raise_
+          (E.Non_convergence
+             {
+               where = "Normalize";
+               steps = scan_limit;
+               detail =
+                 Printf.sprintf
+                   "no fruitful turn among %d candidates after index %d"
+                   scan_limit orig_i;
+             })
       else
         let t = Turning.get turns i in
         if keep ~sum_kept ~prev_kept t then (t, i)

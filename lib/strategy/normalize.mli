@@ -8,16 +8,14 @@
     turn shrinks the partial sums, so later thresholds [t''] move left and
     coverage only grows — the monotonicity the property tests check. *)
 
-exception Diverged of string
-(** Raised when, while searching for the next fruitful turn, [scan_limit]
-    consecutive candidates were unfruitful — the input strategy cannot
-    cover anything at this [mu] (e.g. its turning points grow too slowly). *)
-
 val fruitful_only_orc : ?scan_limit:int -> mu:float -> Turning.t -> Turning.t
 (** Keep exactly the rounds that are fruitful {e with respect to the
     already-kept prefix} (thresholds are recomputed as rounds are dropped).
     The result's rounds are all fruitful at [mu].  [scan_limit] defaults to
-    10_000. *)
+    10_000; when that many consecutive candidates are unfruitful — the
+    input strategy cannot cover anything at this [mu], e.g. its turning
+    points grow too slowly — forcing the result raises
+    [Search_numerics.Search_error.Error] ([Non_convergence]). *)
 
 val fruitful_only_line : ?scan_limit:int -> mu:float -> Turning.t -> Turning.t
 (** Line variant: fruitfulness uses the line threshold

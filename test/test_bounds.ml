@@ -31,7 +31,10 @@ let test_params_line () =
 let test_params_validation () =
   let expect_invalid name f =
     match f () with
-    | exception P.Invalid _ -> ()
+    | exception
+        Search_numerics.Search_error.Error
+          (Search_numerics.Search_error.Regime_violation _) ->
+        ()
     | _ -> Alcotest.failf "%s should be invalid" name
   in
   expect_invalid "m=1" (fun () -> P.make ~m:1 ~k:1 ~f:0);

@@ -19,7 +19,9 @@ let test_problem_defaults () =
 
 let test_problem_validation () =
   (match FS.Problem.make ~m:2 ~k:0 ~f:0 () with
-  | exception FS.Params.Invalid _ -> ()
+  | exception
+      FS.Search_error.Error (FS.Search_error.Regime_violation _) ->
+      ()
   | _ -> Alcotest.fail "k=0 accepted");
   match FS.Problem.make ~m:2 ~k:1 ~f:0 ~horizon:0.5 () with
   | exception Invalid_argument _ -> ()
@@ -36,7 +38,9 @@ let test_problem_byzantine_bound () =
 let test_solve_unsolvable () =
   let p = FS.Problem.line ~k:2 ~f:2 () in
   match FS.Solve.solve p with
-  | exception FS.Solve.Unsolvable _ -> ()
+  | exception
+      FS.Search_error.Error (FS.Search_error.Regime_violation _) ->
+      ()
   | _ -> Alcotest.fail "expected Unsolvable"
 
 let test_solve_ratio_one () =

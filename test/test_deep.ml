@@ -54,7 +54,7 @@ let with_ocamlc k = if Lazy.force have_ocamlc then k () else ()
 let collect ?(audited = fun _ -> false) root =
   let findings, units, _budget_stale =
     Pool.with_pool ~jobs:1 @@ fun pool ->
-    Deep.collect ~pool ~deep:true ~hotpath:false ~audited
+    Deep.collect ~pool ~deep:true ~hotpath:false ~escape:false ~audited
       ~budget:Search_analysis.Budget.empty ~dirs:[ "lib" ] ~root
   in
   (findings, units)

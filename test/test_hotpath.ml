@@ -48,7 +48,7 @@ let with_ocamlc k = if Lazy.force have_ocamlc then k () else ()
 
 let collect ?(budget = Budget.empty) root =
   Pool.with_pool ~jobs:1 @@ fun pool ->
-  Deep.collect ~pool ~deep:false ~hotpath:true
+  Deep.collect ~pool ~deep:false ~hotpath:true ~escape:false
     ~audited:(fun _ -> false)
     ~budget ~dirs:[ "lib" ] ~root
 

@@ -95,7 +95,12 @@ let test_bisect_endpoint_roots () =
 
 let test_bisect_no_bracket () =
   Alcotest.check_raises "same sign raises"
-    (Root.No_bracket "Root.bisect: f(1)=1 and f(2)=2 have the same sign")
+    (Search_numerics.Search_error.Error
+       (Search_numerics.Search_error.Invalid_input
+          {
+            where = "Root.bisect";
+            what = "f(1)=1 and f(2)=2 have the same sign";
+          }))
     (fun () -> ignore (Root.bisect ~f:(fun x -> x) 1. 2.))
 
 let test_brent_polynomial () =

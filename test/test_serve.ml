@@ -344,9 +344,9 @@ let test_dispatch_failure_shapes () =
         | None -> None)
     | Error _ -> None
   in
-  check_bool "invalid instance fails with invalid-input" true
+  check_bool "invalid instance fails with regime-violation" true
     (match error_tag (find 5) with
-    | Some t -> String.equal t "invalid-input"
+    | Some t -> String.equal t "regime-violation"
     | None -> false);
   check_bool "ratio-one certify fails with regime-violation" true
     (match error_tag (find 6) with

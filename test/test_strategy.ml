@@ -285,7 +285,10 @@ let test_normalize_diverges_on_hopeless () =
   let t = Turning.of_fun (fun _ -> 1.) in
   let n = Norm.fruitful_only_orc ~scan_limit:100 ~mu:2. t in
   match Turning.get n 10 with
-  | exception Norm.Diverged _ -> ()
+  | exception
+      Search_numerics.Search_error.Error
+        (Search_numerics.Search_error.Non_convergence _) ->
+      ()
   | _ -> Alcotest.fail "expected divergence"
 
 let test_normalize_never_shrinks_cover () =
